@@ -1,0 +1,220 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Figure 2, the Section 4.1 statistics, Figure 6, the Section 5.2
+   penalty sensitivity, Figure 7) plus the DESIGN.md ablations A1-A7,
+   and runs Bechamel micro-benchmarks of the system's own hot kernels.
+
+   Usage:
+     dune exec bench/main.exe              # all paper artifacts + ablations
+     dune exec bench/main.exe -- f2        # one artifact (f2 t41 f6 s52 f7)
+     dune exec bench/main.exe -- a1        # one ablation  (a1..a5)
+     dune exec bench/main.exe -- paper     # paper artifacts only
+     dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks *)
+
+open T1000
+
+let ctx = lazy (Experiment.create_ctx ())
+
+let banner title = Format.printf "@.==== %s ====@.@." title
+
+let run_f2 () =
+  banner "F2: Figure 2 (greedy)";
+  Format.printf "%a@." Report.pp_figure2 (Experiment.figure2 (Lazy.force ctx))
+
+let run_t41 () =
+  banner "T4.1: greedy instruction statistics";
+  Format.printf "%a@." Report.pp_table41 (Experiment.table41 (Lazy.force ctx))
+
+let run_f6 () =
+  banner "F6: Figure 6 (selective)";
+  Format.printf "%a@." Report.pp_figure6 (Experiment.figure6 (Lazy.force ctx))
+
+let run_s52 () =
+  banner "S5.2: reconfiguration-penalty sensitivity";
+  Format.printf "%a@." Report.pp_penalty_sweep
+    (Experiment.penalty_sweep (Lazy.force ctx))
+
+let run_f7 () =
+  banner "F7: Figure 7 (LUT cost distribution)";
+  Format.printf "%a@." Report.pp_figure7 (Experiment.figure7 (Lazy.force ctx))
+
+let run_a1 () =
+  banner "A1: PFU-count sweep (selective)";
+  Format.printf "%a@."
+    (Report.pp_sweep ~title:"selective speedup vs number of PFUs")
+    (Experiment.pfu_count_sweep (Lazy.force ctx))
+
+let run_a2 () =
+  banner "A2: bitwidth-threshold sweep (greedy, unlimited)";
+  Format.printf "%a@."
+    (Report.pp_sweep ~title:"greedy-unlimited speedup vs width threshold")
+    (Experiment.width_threshold_sweep (Lazy.force ctx))
+
+let run_a3 () =
+  banner "A3: gain-threshold sweep (selective, 2 PFUs)";
+  Format.printf "%a@."
+    (Report.pp_sweep ~title:"selective speedup vs gain-ratio threshold")
+    (Experiment.gain_threshold_sweep (Lazy.force ctx))
+
+let run_a4 () =
+  banner "A4: PFU replacement policy (selective, 2 PFUs)";
+  Format.printf "%a@."
+    (Report.pp_sweep ~title:"selective speedup vs replacement policy")
+    (Experiment.replacement_sweep (Lazy.force ctx))
+
+let run_a5 () =
+  banner "A5: machine-width sensitivity (selective, 4 PFUs)";
+  Format.printf "%a@."
+    (Report.pp_sweep ~title:"speedup vs machine width (per-width baseline)")
+    (Experiment.machine_sweep (Lazy.force ctx))
+
+let run_a6 () =
+  banner "A6: PFU delay model (selective, 4 PFUs)";
+  Format.printf "%a@."
+    (Report.pp_sweep
+       ~title:"speedup: single-cycle PFU vs LUT-level delay model")
+    (Experiment.latency_model_sweep (Lazy.force ctx))
+
+let run_a7 () =
+  banner "A7: branch prediction (selective, 4 PFUs, per-predictor baseline)";
+  Format.printf "%a@."
+    (Report.pp_sweep ~title:"speedup: perfect vs bimodal branch prediction")
+    (Experiment.branch_predictor_sweep (Lazy.force ctx))
+
+let run_a8 () =
+  banner "A8: configuration prefetching (selective, 2 PFUs)";
+  Format.printf "%a@."
+    (Report.pp_sweep
+       ~title:"speedup with/without cfgld preheader prefetch hints")
+    (Experiment.prefetch_sweep (Lazy.force ctx))
+
+(* ---- Bechamel micro-benchmarks of the system's own hot paths ---- *)
+
+let perf_tests () =
+  let open Bechamel in
+  let w =
+    match T1000_workloads.Registry.find "epic" with
+    | Some w -> w
+    | None -> assert false
+  in
+  let analysis = Runner.analyze w in
+  let program = w.T1000_workloads.Workload.program in
+  let small_interp () =
+    let mem = T1000_machine.Memory.create () in
+    let regs = T1000_machine.Regfile.create () in
+    w.T1000_workloads.Workload.init mem regs;
+    let i = T1000_machine.Interp.create ~mem ~regs program in
+    ignore (T1000_machine.Interp.run ~max_steps:50_000_000 i)
+  in
+  let timing_sim () =
+    ignore
+      (T1000_ooo.Sim.run
+         ~init:(fun mem regs -> w.T1000_workloads.Workload.init mem regs)
+         program)
+  in
+  let greedy_select () =
+    ignore
+      (T1000_select.Greedy.select analysis.Runner.cfg analysis.Runner.live
+         analysis.Runner.profile)
+  in
+  let selective_select () =
+    ignore
+      (T1000_select.Selective.select ~n_pfus:(Some 2) analysis.Runner.cfg
+         analysis.Runner.loops analysis.Runner.live analysis.Runner.profile)
+  in
+  let lut_cost () =
+    let r =
+      T1000_select.Greedy.select analysis.Runner.cfg analysis.Runner.live
+        analysis.Runner.profile
+    in
+    List.iter
+      (fun e -> ignore (T1000_hwcost.Lut.cost e.T1000_select.Extinstr.dfg))
+      (T1000_select.Extinstr.entries r.T1000_select.Greedy.table)
+  in
+  let cache_sim () =
+    let c =
+      T1000_cache.Cache.create ~name:"bench" ~sets:256 ~ways:2 ~line_bytes:32
+    in
+    for i = 0 to 99_999 do
+      ignore
+        (T1000_cache.Cache.access c ~addr:(i * 48 land 0xFFFFF) ~write:false)
+    done
+  in
+  [
+    Test.make ~name:"interp/epic-run" (Staged.stage small_interp);
+    Test.make ~name:"ooo-sim/epic-run" (Staged.stage timing_sim);
+    Test.make ~name:"select/greedy" (Staged.stage greedy_select);
+    Test.make ~name:"select/selective-2pfu" (Staged.stage selective_select);
+    Test.make ~name:"hwcost/lut-table" (Staged.stage lut_cost);
+    Test.make ~name:"cache/100k-accesses" (Staged.stage cache_sim);
+  ]
+
+let run_perf () =
+  banner "PERF: Bechamel micro-benchmarks";
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+  in
+  let tests = Test.make_grouped ~name:"t1000" ~fmt:"%s %s" (perf_tests ()) in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-32s %12.0f ns/run@." name est
+      | Some _ | None -> Format.printf "%-32s (no estimate)@." name)
+    results
+
+let paper () =
+  run_f2 ();
+  run_t41 ();
+  run_f6 ();
+  run_s52 ();
+  run_f7 ()
+
+let ablations () =
+  run_a1 ();
+  run_a2 ();
+  run_a3 ();
+  run_a4 ();
+  run_a5 ();
+  run_a6 ();
+  run_a7 ();
+  run_a8 ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+      paper ();
+      ablations ()
+  | _ ->
+      List.iter
+        (function
+          | "f2" -> run_f2 ()
+          | "t41" -> run_t41 ()
+          | "f6" -> run_f6 ()
+          | "s52" -> run_s52 ()
+          | "f7" -> run_f7 ()
+          | "a1" -> run_a1 ()
+          | "a2" -> run_a2 ()
+          | "a3" -> run_a3 ()
+          | "a4" -> run_a4 ()
+          | "a5" -> run_a5 ()
+          | "a6" -> run_a6 ()
+          | "a7" -> run_a7 ()
+          | "a8" -> run_a8 ()
+          | "paper" -> paper ()
+          | "ablations" -> ablations ()
+          | "perf" -> run_perf ()
+          | other ->
+              Format.eprintf
+                "unknown experiment %S (expected f2 t41 f6 s52 f7 a1-a8 \
+                 paper ablations perf)@."
+                other;
+              exit 2)
+        args

@@ -1,0 +1,295 @@
+(* Command-line driver for the T1000 toolchain.
+
+   t1000_cli list                     list the benchmark suite
+   t1000_cli disasm WORKLOAD          disassemble a kernel
+   t1000_cli profile WORKLOAD         hottest instructions + widths
+   t1000_cli mine WORKLOAD [opts]     show the selected extended instrs
+   t1000_cli run WORKLOAD [opts]      simulate and report speedup
+   t1000_cli experiment ID...         regenerate paper artifacts *)
+
+open Cmdliner
+
+let find_workload name =
+  match T1000_workloads.Registry.find name with
+  | Some w -> Ok w
+  | None ->
+      Error
+        (Printf.sprintf "unknown workload %S (try: %s)" name
+           (String.concat ", " T1000_workloads.Registry.names))
+
+let workload_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun e -> `Msg e) (find_workload s)),
+      fun ppf w ->
+        Format.pp_print_string ppf w.T1000_workloads.Workload.name )
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some workload_conv) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Benchmark name (see $(b,list)).")
+
+let method_arg =
+  let parse = function
+    | "baseline" -> Ok T1000.Runner.Baseline
+    | "greedy" -> Ok T1000.Runner.Greedy
+    | "selective" -> Ok T1000.Runner.Selective
+    | s -> Error (`Msg (Printf.sprintf "unknown method %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | T1000.Runner.Baseline -> "baseline"
+      | T1000.Runner.Greedy -> "greedy"
+      | T1000.Runner.Selective -> "selective")
+  in
+  let method_conv = Arg.conv (parse, print) in
+  Arg.(
+    value
+    & opt method_conv T1000.Runner.Selective
+    & info [ "m"; "method" ] ~docv:"METHOD"
+        ~doc:"Selection algorithm: baseline, greedy or selective.")
+
+let pfus_arg =
+  let parse = function
+    | "unlimited" -> Ok None
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok (Some n)
+        | Some _ | None -> Error (`Msg "PFUS must be a count or 'unlimited'"))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "unlimited"
+    | Some n -> Format.pp_print_int ppf n
+  in
+  let pfus_conv = Arg.conv (parse, print) in
+  Arg.(
+    value
+    & opt pfus_conv (Some 2)
+    & info [ "p"; "pfus" ] ~docv:"PFUS"
+        ~doc:"Number of PFUs, or 'unlimited'.")
+
+let penalty_arg =
+  Arg.(
+    value & opt int 10
+    & info [ "r"; "penalty" ] ~docv:"CYCLES"
+        ~doc:"PFU reconfiguration penalty in cycles.")
+
+let setup_of method_ pfus penalty =
+  T1000.Runner.setup ~n_pfus:pfus ~penalty method_
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Format.printf "%-10s  %s@." w.T1000_workloads.Workload.name
+          w.T1000_workloads.Workload.description)
+      T1000_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite.")
+    Term.(const run $ const ())
+
+(* ---- disasm ---- *)
+
+let disasm_cmd =
+  let run w =
+    Format.printf "%a@." T1000_asm.Program.pp
+      w.T1000_workloads.Workload.program
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a kernel.")
+    Term.(const run $ workload_arg)
+
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run w =
+    let a = T1000.Runner.analyze w in
+    Format.printf "%d dynamic instructions, serial weight %d@."
+      (T1000_profile.Profile.total_instrs a.T1000.Runner.profile)
+      (T1000_profile.Profile.total_weight a.T1000.Runner.profile);
+    Format.printf "dynamic instruction mix:@.%a@.@." T1000_profile.Mix.pp
+      (T1000_profile.Mix.dynamic_mix a.T1000.Runner.profile);
+    Format.printf "%a@."
+      (T1000_profile.Profile.pp_hot ~limit:25)
+      a.T1000.Runner.profile
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Profile a kernel (counts and bitwidths).")
+    Term.(const run $ workload_arg)
+
+(* ---- mine ---- *)
+
+let mine_cmd =
+  let run w method_ pfus penalty save =
+    let r =
+      T1000.Runner.run ~analysis:(T1000.Runner.analyze w) w
+        (setup_of method_ pfus penalty)
+    in
+    Format.printf "%a@." T1000_select.Extinstr.pp r.T1000.Runner.table;
+    List.iter
+      (fun e ->
+        Format.printf "@.ext#%d (%d LUTs, %d occurrence(s)):@.%a@."
+          e.T1000_select.Extinstr.eid e.T1000_select.Extinstr.lut_cost
+          (List.length e.T1000_select.Extinstr.occs)
+          T1000_dfg.Dfg.pp e.T1000_select.Extinstr.dfg)
+      (T1000_select.Extinstr.entries r.T1000.Runner.table);
+    match save with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (T1000_select.Extinstr.to_text r.T1000.Runner.table);
+        close_out oc;
+        Format.printf "@.table saved to %s@." path
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "save" ] ~docv:"FILE"
+          ~doc:"Write the selection as an extended-instruction table file.")
+  in
+  Cmd.v
+    (Cmd.info "mine"
+       ~doc:"Show the extended instructions a selection algorithm chooses.")
+    Term.(const run $ workload_arg $ method_arg $ pfus_arg $ penalty_arg $ save)
+
+(* ---- replay ---- *)
+
+let replay_cmd =
+  let run w path pfus penalty =
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match T1000_select.Extinstr.of_text text with
+    | Error msg ->
+        Format.eprintf "cannot load %s: %s@." path msg;
+        exit 1
+    | Ok table ->
+        let rw = T1000_select.Rewrite.apply w.T1000_workloads.Workload.program table in
+        T1000.Runner.verify_outputs w table rw.T1000_select.Rewrite.program;
+        let machine =
+          T1000_ooo.Mconfig.with_pfus ~penalty pfus T1000_ooo.Mconfig.default
+        in
+        let ext_latency eid =
+          (T1000_select.Extinstr.get table eid).T1000_select.Extinstr.latency
+        in
+        let stats =
+          T1000_ooo.Sim.run ~mconfig:machine ~ext_latency
+            ~ext_eval:(T1000_select.Extinstr.eval table)
+            ~init:(fun mem regs -> w.T1000_workloads.Workload.init mem regs)
+            rw.T1000_select.Rewrite.program
+        in
+        Format.printf
+          "replayed %d configurations (%d sites collapsed, outputs            verified)@.%a@."
+          (T1000_select.Extinstr.count table)
+          rw.T1000_select.Rewrite.collapsed T1000_ooo.Stats.pp stats
+  in
+  let path =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"TABLE" ~doc:"Extended-instruction table file.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Rewrite and simulate a workload with a previously saved           extended-instruction table (the paper's second input file).")
+    Term.(const run $ workload_arg $ path $ pfus_arg $ penalty_arg)
+
+(* ---- run ---- *)
+
+let run_cmd =
+  let run w method_ pfus penalty =
+    let analysis = T1000.Runner.analyze w in
+    let baseline =
+      T1000.Runner.run ~analysis w (T1000.Runner.setup T1000.Runner.Baseline)
+    in
+    let r = T1000.Runner.run ~analysis w (setup_of method_ pfus penalty) in
+    Format.printf "baseline:@.%a@.@." T1000_ooo.Stats.pp
+      baseline.T1000.Runner.stats;
+    Format.printf "with PFUs:@.%a@.@." T1000_ooo.Stats.pp
+      r.T1000.Runner.stats;
+    Format.printf "speedup: %.3f@." (T1000.Runner.speedup ~baseline r)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a workload and report the speedup.")
+    Term.(const run $ workload_arg $ method_arg $ pfus_arg $ penalty_arg)
+
+(* ---- dot ---- *)
+
+let dot_cmd =
+  let run w what =
+    match what with
+    | "cfg" ->
+        print_string
+          (T1000_asm.Cfg.to_dot
+             (T1000_asm.Cfg.of_program w.T1000_workloads.Workload.program))
+    | "ext" ->
+        let r =
+          T1000.Runner.run ~analysis:(T1000.Runner.analyze w) w
+            (T1000.Runner.setup ~n_pfus:(Some 4) T1000.Runner.Selective)
+        in
+        List.iter
+          (fun e ->
+            print_string
+              (T1000_dfg.Dfg.to_dot
+                 ~name:(Printf.sprintf "ext%d" e.T1000_select.Extinstr.eid)
+                 e.T1000_select.Extinstr.dfg))
+          (T1000_select.Extinstr.entries r.T1000.Runner.table)
+    | other -> Format.eprintf "expected 'cfg' or 'ext', got %S@." other
+  in
+  let what =
+    Arg.(
+      value
+      & pos 1 string "cfg"
+      & info [] ~docv:"WHAT" ~doc:"What to render: cfg or ext.")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for a kernel's CFG or its mined DFGs.")
+    Term.(const run $ workload_arg $ what)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let run ids =
+    let ctx = T1000.Experiment.create_ctx () in
+    let dispatch = function
+      | "f2" ->
+          Format.printf "%a@." T1000.Report.pp_figure2
+            (T1000.Experiment.figure2 ctx)
+      | "t41" ->
+          Format.printf "%a@." T1000.Report.pp_table41
+            (T1000.Experiment.table41 ctx)
+      | "f6" ->
+          Format.printf "%a@." T1000.Report.pp_figure6
+            (T1000.Experiment.figure6 ctx)
+      | "s52" ->
+          Format.printf "%a@." T1000.Report.pp_penalty_sweep
+            (T1000.Experiment.penalty_sweep ctx)
+      | "f7" ->
+          Format.printf "%a@." T1000.Report.pp_figure7
+            (T1000.Experiment.figure7 ctx)
+      | other -> Format.eprintf "unknown experiment %S@." other
+    in
+    List.iter dispatch ids
+  in
+  let ids =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"ID" ~doc:"Experiment ids: f2 t41 f6 s52 f7.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures.")
+    Term.(const run $ ids)
+
+let () =
+  let doc =
+    "T1000: configurable extended instructions on a superscalar core"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "t1000_cli" ~doc)
+          [
+            list_cmd; disasm_cmd; profile_cmd; mine_cmd; replay_cmd;
+            run_cmd; dot_cmd; experiment_cmd;
+          ]))

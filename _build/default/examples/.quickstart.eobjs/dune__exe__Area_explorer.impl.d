@@ -1,0 +1,1 @@
+examples/area_explorer.ml: Array Extinstr Format List Option String T1000 T1000_dfg T1000_hwcost T1000_select T1000_workloads

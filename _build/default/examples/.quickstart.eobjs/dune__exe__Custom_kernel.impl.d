@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Builder Format List Program Reg T1000 T1000_asm T1000_dfg T1000_isa T1000_ooo T1000_select T1000_workloads

@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Format List String Sys T1000 T1000_workloads

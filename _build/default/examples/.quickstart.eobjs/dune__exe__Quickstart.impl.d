@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format T1000 T1000_ooo T1000_profile T1000_select T1000_workloads

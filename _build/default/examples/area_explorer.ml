@@ -1,0 +1,64 @@
+(* Hardware-cost exploration: what do the mined extended instructions
+   cost in LUTs, and how does the candidate bitwidth threshold trade
+   area against speedup?
+
+   For each benchmark, prints the selective algorithm's chosen
+   instructions with their per-node LUT breakdown, then sweeps the
+   bitwidth threshold to show the area/performance frontier. *)
+
+open T1000_select
+
+let () =
+  Format.printf "== per-benchmark extended-instruction area ==@.";
+  List.iter
+    (fun w ->
+      let analysis = T1000.Runner.analyze w in
+      let r =
+        T1000.Runner.run ~analysis w
+          (T1000.Runner.setup ~n_pfus:(Some 4) T1000.Runner.Selective)
+      in
+      Format.printf "@.%s:@." w.T1000_workloads.Workload.name;
+      List.iter
+        (fun e ->
+          let costs = T1000_hwcost.Lut.node_costs e.Extinstr.dfg in
+          Format.printf
+            "  ext#%d: %2d ops, width <= %2d, %3d LUTs  (per node: %s)@."
+            e.Extinstr.eid
+            (T1000_dfg.Dfg.size e.Extinstr.dfg)
+            (T1000_dfg.Dfg.max_width e.Extinstr.dfg)
+            e.Extinstr.lut_cost
+            (String.concat "+"
+               (Array.to_list (Array.map string_of_int costs))))
+        (Extinstr.entries r.T1000.Runner.table))
+    T1000_workloads.Registry.all;
+
+  Format.printf "@.== bitwidth threshold: area vs speedup (gsm_dec) ==@.";
+  let w = Option.get (T1000_workloads.Registry.find "gsm_dec") in
+  let analysis = T1000.Runner.analyze w in
+  let baseline =
+    T1000.Runner.run ~analysis w (T1000.Runner.setup T1000.Runner.Baseline)
+  in
+  Format.printf "%10s %10s %12s %10s@." "threshold" "configs" "total LUTs"
+    "speedup";
+  List.iter
+    (fun threshold ->
+      let s = T1000.Runner.setup ~n_pfus:(Some 4) T1000.Runner.Selective in
+      let s =
+        {
+          s with
+          T1000.Runner.extract =
+            {
+              s.T1000.Runner.extract with
+              T1000_dfg.Extract.width_threshold = threshold;
+            };
+        }
+      in
+      let r = T1000.Runner.run ~analysis w s in
+      let entries = Extinstr.entries r.T1000.Runner.table in
+      let total_luts =
+        List.fold_left (fun acc e -> acc + e.Extinstr.lut_cost) 0 entries
+      in
+      Format.printf "%10d %10d %12d %10.3f@." threshold (List.length entries)
+        total_luts
+        (T1000.Runner.speedup ~baseline r))
+    [ 8; 12; 18; 24; 32 ]

@@ -1,0 +1,49 @@
+(* Design-space exploration: how many PFUs does a workload deserve, and
+   how sensitive is the answer to the reconfiguration penalty?
+
+   Sweeps PFU count x penalty for one benchmark under the selective
+   algorithm and prints a speedup grid — the kind of study an
+   architect would run before fixing the PFU budget in silicon. *)
+
+let pfu_counts = [ 1; 2; 3; 4; 8 ]
+let penalties = [ 0; 10; 100; 500 ]
+
+let () =
+  let name =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "gsm_dec"
+  in
+  let workload =
+    match T1000_workloads.Registry.find name with
+    | Some w -> w
+    | None ->
+        Format.eprintf "unknown workload %s (expected one of: %s)@." name
+          (String.concat ", " T1000_workloads.Registry.names);
+        exit 2
+  in
+  Format.printf "design space for %s (selective algorithm)@.@." name;
+  let analysis = T1000.Runner.analyze workload in
+  let baseline =
+    T1000.Runner.run ~analysis workload
+      (T1000.Runner.setup T1000.Runner.Baseline)
+  in
+  Format.printf "%12s" "pfus \\ pen";
+  List.iter (fun p -> Format.printf "%10d" p) penalties;
+  Format.printf "@.";
+  List.iter
+    (fun n ->
+      Format.printf "%12d" n;
+      List.iter
+        (fun pen ->
+          let r =
+            T1000.Runner.run ~analysis workload
+              (T1000.Runner.setup ~n_pfus:(Some n) ~penalty:pen
+                 T1000.Runner.Selective)
+          in
+          Format.printf "%10.3f" (T1000.Runner.speedup ~baseline r))
+        penalties;
+      Format.printf "@.")
+    pfu_counts;
+  Format.printf
+    "@.rows: number of PFUs; columns: reconfiguration penalty (cycles);@.";
+  Format.printf
+    "cells: execution-time speedup over the no-PFU superscalar.@."

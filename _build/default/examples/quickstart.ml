@@ -1,0 +1,56 @@
+(* Quickstart: run one MediaBench-like kernel three ways — plain
+   superscalar, greedy selection, selective selection — and print the
+   speedups, the selected extended instructions, and their hardware
+   cost.  This is the 60-second tour of the public API. *)
+
+let () =
+  let workload =
+    match T1000_workloads.Registry.find "gsm_dec" with
+    | Some w -> w
+    | None -> assert false
+  in
+  Format.printf "workload: %s — %s@." workload.T1000_workloads.Workload.name
+    workload.T1000_workloads.Workload.description;
+
+  (* One profiling pass + static analyses, shared by every setup. *)
+  let analysis = T1000.Runner.analyze workload in
+  Format.printf "profiled %d dynamic instructions@."
+    (T1000_profile.Profile.total_instrs analysis.T1000.Runner.profile);
+
+  let baseline =
+    T1000.Runner.run ~analysis workload (T1000.Runner.setup T1000.Runner.Baseline)
+  in
+  Format.printf "@.baseline superscalar:@.%a@." T1000_ooo.Stats.pp
+    baseline.T1000.Runner.stats;
+
+  let greedy_unlimited =
+    T1000.Runner.run ~analysis workload
+      (T1000.Runner.setup ~n_pfus:None ~penalty:0 T1000.Runner.Greedy)
+  in
+  let greedy_2 =
+    T1000.Runner.run ~analysis workload
+      (T1000.Runner.setup ~n_pfus:(Some 2) T1000.Runner.Greedy)
+  in
+  let selective_2 =
+    T1000.Runner.run ~analysis workload
+      (T1000.Runner.setup ~n_pfus:(Some 2) T1000.Runner.Selective)
+  in
+  let selective_4 =
+    T1000.Runner.run ~analysis workload
+      (T1000.Runner.setup ~n_pfus:(Some 4) T1000.Runner.Selective)
+  in
+  let pr name r =
+    Format.printf "%-28s cycles %9d  speedup %.3f  (%d ext instrs)@." name
+      r.T1000.Runner.stats.T1000_ooo.Stats.cycles
+      (T1000.Runner.speedup ~baseline r)
+      (T1000_select.Extinstr.count r.T1000.Runner.table)
+  in
+  Format.printf "@.";
+  pr "baseline" baseline;
+  pr "greedy, unlimited, 0-cycle" greedy_unlimited;
+  pr "greedy, 2 PFUs, 10-cycle" greedy_2;
+  pr "selective, 2 PFUs, 10-cycle" selective_2;
+  pr "selective, 4 PFUs, 10-cycle" selective_4;
+
+  Format.printf "@.selected extended instructions (selective, 2 PFUs):@.%a@."
+    T1000_select.Extinstr.pp selective_2.T1000.Runner.table

@@ -1,0 +1,1 @@
+lib/asm/asm_text.ml: Array Buffer Hashtbl Instr List Op Printf Program Reg String T1000_isa

@@ -1,0 +1,1 @@
+lib/asm/builder.ml: Array Hashtbl Instr Op Printf Program Reg T1000_isa Word

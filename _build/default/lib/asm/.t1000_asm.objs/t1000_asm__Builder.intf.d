@@ -1,0 +1,1 @@
+lib/asm/builder.mli: Instr Program Reg T1000_isa

@@ -1,0 +1,1 @@
+lib/asm/cfg.ml: Array Buffer Format Instr List Printf Program String T1000_isa

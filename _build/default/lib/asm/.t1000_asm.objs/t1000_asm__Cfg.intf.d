@@ -1,0 +1,1 @@
+lib/asm/cfg.mli: Format Program

@@ -1,0 +1,1 @@
+lib/asm/dominators.ml: Array Cfg List

@@ -1,0 +1,1 @@
+lib/asm/dominators.mli: Cfg

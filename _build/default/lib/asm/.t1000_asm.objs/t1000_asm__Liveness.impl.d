@@ -1,0 +1,1 @@
+lib/asm/liveness.ml: Array Cfg Format Instr List Program Regset T1000_isa

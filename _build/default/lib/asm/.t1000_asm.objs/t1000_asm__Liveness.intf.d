@@ -1,0 +1,1 @@
+lib/asm/liveness.mli: Cfg Format Regset

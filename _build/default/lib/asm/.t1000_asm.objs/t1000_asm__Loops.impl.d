@@ -1,0 +1,1 @@
+lib/asm/loops.ml: Array Cfg Dominators Format Int List Map Option Set String

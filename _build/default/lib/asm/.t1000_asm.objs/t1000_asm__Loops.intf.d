@@ -1,0 +1,1 @@
+lib/asm/loops.mli: Cfg Dominators Format

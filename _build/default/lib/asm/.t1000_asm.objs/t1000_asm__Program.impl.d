@@ -1,0 +1,1 @@
+lib/asm/program.ml: Array Format Instr Printf T1000_isa

@@ -1,0 +1,1 @@
+lib/asm/regset.ml: Format Instr List Printf String T1000_isa

@@ -1,0 +1,1 @@
+lib/asm/regset.mli: Format

@@ -1,0 +1,426 @@
+open T1000_isa
+
+(* ---------- printing ---------- *)
+
+let reg_name r = Printf.sprintf "r%d" (Reg.to_int r)
+
+let collect_targets program =
+  Program.fold
+    (fun _ instr acc ->
+      match instr with
+      | Instr.Branch (_, _, _, t) | Instr.Jump t | Instr.Jal t -> t :: acc
+      | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _
+      | Instr.Shift_reg _ | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _
+      | Instr.Mflo _ | Instr.Load _ | Instr.Store _ | Instr.Jr _
+      | Instr.Jalr _ | Instr.Ext _ | Instr.Cfgld _ | Instr.Nop
+      | Instr.Halt ->
+          acc)
+    program []
+  |> List.sort_uniq compare
+
+let to_string program =
+  let targets = collect_targets program in
+  let label_of = Hashtbl.create 8 in
+  List.iteri (fun i t -> Hashtbl.replace label_of t (Printf.sprintf "L%d" i))
+    targets;
+  let buf = Buffer.create 1024 in
+  let target t =
+    match Hashtbl.find_opt label_of t with
+    | Some l -> l
+    | None -> "@" ^ string_of_int t
+  in
+  let line fmt = Printf.ksprintf (fun s ->
+      Buffer.add_string buf "    ";
+      Buffer.add_string buf s;
+      Buffer.add_char buf '\n') fmt
+  in
+  Program.iteri
+    (fun i instr ->
+      (match Hashtbl.find_opt label_of i with
+      | Some l ->
+          Buffer.add_string buf l;
+          Buffer.add_string buf ":\n"
+      | None -> ());
+      let r = reg_name in
+      match instr with
+      | Instr.Alu_rrr (op, rd, rs, rt) ->
+          line "%-6s %s, %s, %s" (Op.alu_to_string op) (r rd) (r rs) (r rt)
+      | Instr.Alu_rri (op, rt, rs, imm) ->
+          line "%-6s %s, %s, %d" (Op.alu_to_string op ^ "i") (r rt) (r rs) imm
+      | Instr.Shift_imm (op, rd, rt, sh) ->
+          line "%-6s %s, %s, %d" (Op.shift_to_string op) (r rd) (r rt) sh
+      | Instr.Shift_reg (op, rd, rt, rs) ->
+          line "%-6s %s, %s, %s" (Op.shift_to_string op ^ "v") (r rd) (r rt)
+            (r rs)
+      | Instr.Lui (rt, imm) -> line "%-6s %s, %d" "lui" (r rt) imm
+      | Instr.Muldiv (op, rs, rt) ->
+          let name =
+            match op with
+            | Op.Mult -> "mult"
+            | Op.Multu -> "multu"
+            | Op.Div -> "div"
+            | Op.Divu -> "divu"
+          in
+          line "%-6s %s, %s" name (r rs) (r rt)
+      | Instr.Mfhi rd -> line "%-6s %s" "mfhi" (r rd)
+      | Instr.Mflo rd -> line "%-6s %s" "mflo" (r rd)
+      | Instr.Load (w, rt, rs, off) ->
+          let name =
+            match w with
+            | Op.LB -> "lb"
+            | Op.LBU -> "lbu"
+            | Op.LH -> "lh"
+            | Op.LHU -> "lhu"
+            | Op.LW -> "lw"
+          in
+          line "%-6s %s, %d(%s)" name (r rt) off (r rs)
+      | Instr.Store (w, rt, rs, off) ->
+          let name =
+            match w with Op.SB -> "sb" | Op.SH -> "sh" | Op.SW -> "sw"
+          in
+          line "%-6s %s, %d(%s)" name (r rt) off (r rs)
+      | Instr.Branch (c, rs, rt, tgt) -> (
+          match c with
+          | Op.Beq | Op.Bne ->
+              line "%-6s %s, %s, %s"
+                (match c with Op.Beq -> "beq" | _ -> "bne")
+                (r rs) (r rt) (target tgt)
+          | Op.Blez | Op.Bgtz | Op.Bltz | Op.Bgez ->
+              let name =
+                match c with
+                | Op.Blez -> "blez"
+                | Op.Bgtz -> "bgtz"
+                | Op.Bltz -> "bltz"
+                | Op.Bgez -> "bgez"
+                | Op.Beq | Op.Bne -> assert false
+              in
+              line "%-6s %s, %s" name (r rs) (target tgt))
+      | Instr.Jump tgt -> line "%-6s %s" "j" (target tgt)
+      | Instr.Jal tgt -> line "%-6s %s" "jal" (target tgt)
+      | Instr.Jr rs -> line "%-6s %s" "jr" (r rs)
+      | Instr.Jalr (rd, rs) -> line "%-6s %s, %s" "jalr" (r rd) (r rs)
+      | Instr.Ext { eid; dst; src1; src2 } ->
+          line "ext#%d %s, %s, %s" eid (r dst) (r src1) (r src2)
+      | Instr.Cfgld eid -> line "cfgld#%d" eid
+      | Instr.Nop -> line "nop"
+      | Instr.Halt -> line "halt")
+    program;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let named_regs =
+  [
+    ("zero", 0); ("at", 1); ("v0", 2); ("v1", 3); ("a0", 4); ("a1", 5);
+    ("a2", 6); ("a3", 7); ("t0", 8); ("t1", 9); ("t2", 10); ("t3", 11);
+    ("t4", 12); ("t5", 13); ("t6", 14); ("t7", 15); ("s0", 16); ("s1", 17);
+    ("s2", 18); ("s3", 19); ("s4", 20); ("s5", 21); ("s6", 22); ("s7", 23);
+    ("t8", 24); ("t9", 25); ("k0", 26); ("k1", 27); ("gp", 28); ("sp", 29);
+    ("fp", 30); ("ra", 31);
+  ]
+
+let parse_reg tok =
+  let tok = String.lowercase_ascii tok in
+  match List.assoc_opt tok named_regs with
+  | Some n -> Reg.of_int n
+  | None ->
+      if String.length tok >= 2 && tok.[0] = 'r' then
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some n when n >= 0 && n < 32 -> Reg.of_int n
+        | Some _ | None -> fail "bad register %S" tok
+      else fail "bad register %S" tok
+
+let parse_int tok =
+  match int_of_string_opt tok with
+  | Some v -> v
+  | None -> fail "bad integer %S" tok
+
+(* strip comments, return (label option, mnemonic+operand tokens) *)
+let split_line line =
+  (* '#' starts a comment only at the start of a line or after
+     whitespace, so the ext#N mnemonic survives *)
+  let line =
+    let n = String.length line in
+    let rec find i =
+      if i >= n then line
+      else if line.[i] = '#' && (i = 0 || line.[i - 1] = ' ' || line.[i - 1] = '\t')
+      then String.sub line 0 i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let line =
+    match String.index_opt line ';' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let line = String.trim line in
+  if line = "" then (None, [])
+  else begin
+    let label, rest =
+      match String.index_opt line ':' with
+      | Some i ->
+          let l = String.trim (String.sub line 0 i) in
+          let r =
+            String.trim (String.sub line (i + 1) (String.length line - i - 1))
+          in
+          if l = "" then fail "empty label" else (Some l, r)
+      | None -> (None, line)
+    in
+    if rest = "" then (label, [])
+    else begin
+      (* split mnemonic from operands; operands separated by commas,
+         with the load/store "off(reg)" form broken apart *)
+      let mnemonic, operands =
+        match String.index_opt rest ' ' with
+        | None -> (rest, "")
+        | Some i ->
+            ( String.sub rest 0 i,
+              String.trim (String.sub rest (i + 1) (String.length rest - i - 1))
+            )
+      in
+      let pieces =
+        String.split_on_char ',' operands
+        |> List.concat_map (fun piece ->
+               let piece = String.trim piece in
+               (* off(reg) -> [off; reg] *)
+               match String.index_opt piece '(' with
+               | Some i when String.length piece > 0
+                             && piece.[String.length piece - 1] = ')' ->
+                   [
+                     String.trim (String.sub piece 0 i);
+                     String.trim
+                       (String.sub piece (i + 1)
+                          (String.length piece - i - 2));
+                   ]
+               | Some _ | None -> [ piece ])
+        |> List.filter (fun s -> s <> "")
+      in
+      (label, String.lowercase_ascii mnemonic :: pieces)
+    end
+  end
+
+type pending_target =
+  | Abs of int
+  | Lbl of string
+
+let parse_target tok =
+  if String.length tok > 1 && tok.[0] = '@' then
+    Abs (parse_int (String.sub tok 1 (String.length tok - 1)))
+  else Lbl tok
+
+(* one instruction with possibly-unresolved target *)
+type pre =
+  | Ready of Instr.t
+  | Branch_p of Op.branch_cond * Reg.t * Reg.t * pending_target
+  | Jump_p of pending_target
+  | Jal_p of pending_target
+
+let alu_rrr_ops =
+  [
+    ("add", Op.Add); ("addu", Op.Addu); ("sub", Op.Sub); ("subu", Op.Subu);
+    ("and", Op.And); ("or", Op.Or); ("xor", Op.Xor); ("nor", Op.Nor);
+    ("slt", Op.Slt); ("sltu", Op.Sltu);
+  ]
+
+let alu_rri_ops =
+  [
+    ("addi", Op.Add); ("addui", Op.Addu); ("addiu", Op.Addu);
+    ("andi", Op.And); ("ori", Op.Or); ("xori", Op.Xor); ("slti", Op.Slt);
+    ("sltui", Op.Sltu); ("sltiu", Op.Sltu); ("subi", Op.Sub);
+    ("subui", Op.Subu); ("nori", Op.Nor);
+  ]
+
+let shift_imm_ops = [ ("sll", Op.Sll); ("srl", Op.Srl); ("sra", Op.Sra) ]
+
+let shift_reg_ops = [ ("sllv", Op.Sll); ("srlv", Op.Srl); ("srav", Op.Sra) ]
+
+let load_ops =
+  [ ("lb", Op.LB); ("lbu", Op.LBU); ("lh", Op.LH); ("lhu", Op.LHU);
+    ("lw", Op.LW) ]
+
+let store_ops = [ ("sb", Op.SB); ("sh", Op.SH); ("sw", Op.SW) ]
+
+let muldiv_ops =
+  [ ("mult", Op.Mult); ("multu", Op.Multu); ("div", Op.Div);
+    ("divu", Op.Divu) ]
+
+let cond2_ops = [ ("beq", Op.Beq); ("bne", Op.Bne) ]
+
+let cond1_ops =
+  [ ("blez", Op.Blez); ("bgtz", Op.Bgtz); ("bltz", Op.Bltz);
+    ("bgez", Op.Bgez) ]
+
+let parse_instr mnemonic args =
+  let nargs n =
+    if List.length args <> n then
+      fail "%s expects %d operand(s), got %d" mnemonic n (List.length args)
+  in
+  let arg i = List.nth args i in
+  match List.assoc_opt mnemonic alu_rrr_ops with
+  | Some op ->
+      nargs 3;
+      Ready
+        (Instr.Alu_rrr (op, parse_reg (arg 0), parse_reg (arg 1),
+                        parse_reg (arg 2)))
+  | None ->
+  match List.assoc_opt mnemonic alu_rri_ops with
+  | Some op ->
+      nargs 3;
+      Ready
+        (Instr.Alu_rri (op, parse_reg (arg 0), parse_reg (arg 1),
+                        parse_int (arg 2)))
+  | None ->
+  match List.assoc_opt mnemonic shift_imm_ops with
+  | Some op ->
+      nargs 3;
+      Ready
+        (Instr.Shift_imm (op, parse_reg (arg 0), parse_reg (arg 1),
+                          parse_int (arg 2)))
+  | None ->
+  match List.assoc_opt mnemonic shift_reg_ops with
+  | Some op ->
+      nargs 3;
+      Ready
+        (Instr.Shift_reg (op, parse_reg (arg 0), parse_reg (arg 1),
+                          parse_reg (arg 2)))
+  | None ->
+  match List.assoc_opt mnemonic load_ops with
+  | Some w ->
+      nargs 3;
+      (* rt, off, base (off(base) was split by split_line) *)
+      Ready
+        (Instr.Load (w, parse_reg (arg 0), parse_reg (arg 2),
+                     parse_int (arg 1)))
+  | None ->
+  match List.assoc_opt mnemonic store_ops with
+  | Some w ->
+      nargs 3;
+      Ready
+        (Instr.Store (w, parse_reg (arg 0), parse_reg (arg 2),
+                      parse_int (arg 1)))
+  | None ->
+  match List.assoc_opt mnemonic muldiv_ops with
+  | Some op ->
+      nargs 2;
+      Ready (Instr.Muldiv (op, parse_reg (arg 0), parse_reg (arg 1)))
+  | None ->
+  match List.assoc_opt mnemonic cond2_ops with
+  | Some c ->
+      nargs 3;
+      Branch_p (c, parse_reg (arg 0), parse_reg (arg 1), parse_target (arg 2))
+  | None ->
+  match List.assoc_opt mnemonic cond1_ops with
+  | Some c ->
+      nargs 2;
+      Branch_p (c, parse_reg (arg 0), Reg.zero, parse_target (arg 1))
+  | None -> (
+      match mnemonic with
+      | "lui" ->
+          nargs 2;
+          Ready (Instr.Lui (parse_reg (arg 0), parse_int (arg 1)))
+      | "mfhi" ->
+          nargs 1;
+          Ready (Instr.Mfhi (parse_reg (arg 0)))
+      | "mflo" ->
+          nargs 1;
+          Ready (Instr.Mflo (parse_reg (arg 0)))
+      | "j" ->
+          nargs 1;
+          Jump_p (parse_target (arg 0))
+      | "jal" ->
+          nargs 1;
+          Jal_p (parse_target (arg 0))
+      | "jr" ->
+          nargs 1;
+          Ready (Instr.Jr (parse_reg (arg 0)))
+      | "jalr" ->
+          nargs 2;
+          Ready (Instr.Jalr (parse_reg (arg 0), parse_reg (arg 1)))
+      | "nop" ->
+          nargs 0;
+          Ready Instr.Nop
+      | "halt" ->
+          nargs 0;
+          Ready Instr.Halt
+      | _ ->
+          (* ext#N *)
+          if
+            String.length mnemonic > 6 && String.sub mnemonic 0 6 = "cfgld#"
+          then begin
+            nargs 0;
+            Ready
+              (Instr.Cfgld
+                 (parse_int
+                    (String.sub mnemonic 6 (String.length mnemonic - 6))))
+          end
+          else if
+            String.length mnemonic > 4 && String.sub mnemonic 0 4 = "ext#"
+          then begin
+            nargs 3;
+            let eid =
+              parse_int (String.sub mnemonic 4 (String.length mnemonic - 4))
+            in
+            Ready
+              (Instr.Ext
+                 {
+                   eid;
+                   dst = parse_reg (arg 0);
+                   src1 = parse_reg (arg 1);
+                   src2 = parse_reg (arg 2);
+                 })
+          end
+          else fail "unknown mnemonic %S" mnemonic)
+
+let parse ?(name = "parsed") source =
+  let lines = String.split_on_char '\n' source in
+  let labels = Hashtbl.create 16 in
+  let pres = ref [] in
+  let n_instrs = ref 0 in
+  try
+    List.iteri
+      (fun lineno line ->
+        try
+          let label, tokens = split_line line in
+          (match label with
+          | Some l ->
+              if Hashtbl.mem labels l then fail "duplicate label %S" l
+              else Hashtbl.replace labels l !n_instrs
+          | None -> ());
+          match tokens with
+          | [] -> ()
+          | mnemonic :: args ->
+              pres := parse_instr mnemonic args :: !pres;
+              incr n_instrs
+        with Parse_error msg ->
+          raise (Parse_error (Printf.sprintf "line %d: %s" (lineno + 1) msg)))
+      lines;
+    let resolve = function
+      | Abs i -> i
+      | Lbl l -> (
+          match Hashtbl.find_opt labels l with
+          | Some i -> i
+          | None -> fail "undefined label %S" l)
+    in
+    let code =
+      List.rev !pres
+      |> List.map (function
+           | Ready i -> i
+           | Branch_p (c, rs, rt, t) -> Instr.Branch (c, rs, rt, resolve t)
+           | Jump_p t -> Instr.Jump (resolve t)
+           | Jal_p t -> Instr.Jal (resolve t))
+      |> Array.of_list
+    in
+    match Program.make ~name code with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error msg
+  with Parse_error msg -> Error msg
+
+let parse_exn ?name source =
+  match parse ?name source with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Asm_text.parse: " ^ msg)

@@ -1,0 +1,36 @@
+(** Textual assembly: print programs as assembler source and parse them
+    back.
+
+    The format is line-oriented MIPS-style assembly:
+
+    {v
+    # comment
+    loop:                       ; labels end with ':'
+        lh    r11, 0(r9)
+        sll   r13, r11, 2
+        addu  r13, r13, r12
+        bgtz  r8, loop          ; branch targets: label or @index
+        ext#3 r2, r9, r10       ; extended instruction, Conf field 3
+        halt
+    v}
+
+    [#] and [;] start comments.  Register names are [r0]-[r31] or the
+    MIPS conventional names ([zero at v0 v1 a0-a3 t0-t9 s0-s7 k0 k1 gp
+    sp fp ra]).  Immediates are decimal or [0x] hexadecimal.
+    Immediate-form ALU mnemonics are accepted in both the printer's
+    spelling ([addui], [sltui]) and the conventional one ([addiu],
+    [sltiu]).
+
+    [to_string] and [parse] round-trip: [parse (to_string p)] yields a
+    program equal to [p]. *)
+
+val to_string : Program.t -> string
+(** Assembler source with an [L<n>:] label at every branch/jump
+    target. *)
+
+val parse : ?name:string -> string -> (Program.t, string) result
+(** Parse assembler source.  On failure the error message carries the
+    offending line number. *)
+
+val parse_exn : ?name:string -> string -> Program.t
+(** @raise Invalid_argument on a parse error. *)

@@ -1,0 +1,136 @@
+open T1000_isa
+
+(* An unresolved instruction is either final or carries a symbolic
+   control-flow target to be backpatched at [build] time. *)
+type pending =
+  | Final of Instr.t
+  | Branch_to of Op.branch_cond * Reg.t * Reg.t * string
+  | Jump_to of string
+  | Jal_to of string
+
+type t = {
+  name : string;
+  mutable code : pending array;
+  mutable len : int;
+  labels : (string, int) Hashtbl.t;
+  mutable gensym : int;
+}
+
+let create ?(name = "anonymous") () =
+  {
+    name;
+    code = Array.make 64 (Final Instr.Nop);
+    len = 0;
+    labels = Hashtbl.create 16;
+    gensym = 0;
+  }
+
+let push b p =
+  if b.len = Array.length b.code then begin
+    let bigger = Array.make (2 * b.len) (Final Instr.Nop) in
+    Array.blit b.code 0 bigger 0 b.len;
+    b.code <- bigger
+  end;
+  b.code.(b.len) <- p;
+  b.len <- b.len + 1
+
+let label b name =
+  if Hashtbl.mem b.labels name then
+    invalid_arg (Printf.sprintf "Builder.label: %S already defined" name)
+  else Hashtbl.add b.labels name b.len
+
+let fresh_label b prefix =
+  b.gensym <- b.gensym + 1;
+  Printf.sprintf "%s$%d" prefix b.gensym
+
+let here b = b.len
+
+let build b =
+  let resolve name =
+    match Hashtbl.find_opt b.labels name with
+    | Some i -> i
+    | None ->
+        invalid_arg (Printf.sprintf "Builder.build: undefined label %S" name)
+  in
+  let code =
+    Array.init b.len (fun i ->
+        match b.code.(i) with
+        | Final instr -> instr
+        | Branch_to (c, rs, rt, l) -> Instr.Branch (c, rs, rt, resolve l)
+        | Jump_to l -> Instr.Jump (resolve l)
+        | Jal_to l -> Instr.Jal (resolve l))
+  in
+  Program.make ~name:b.name code
+
+let raw b i = push b (Final i)
+
+let add b rd rs rt = raw b (Instr.Alu_rrr (Op.Add, rd, rs, rt))
+let addu b rd rs rt = raw b (Instr.Alu_rrr (Op.Addu, rd, rs, rt))
+let sub b rd rs rt = raw b (Instr.Alu_rrr (Op.Sub, rd, rs, rt))
+let subu b rd rs rt = raw b (Instr.Alu_rrr (Op.Subu, rd, rs, rt))
+let and_ b rd rs rt = raw b (Instr.Alu_rrr (Op.And, rd, rs, rt))
+let or_ b rd rs rt = raw b (Instr.Alu_rrr (Op.Or, rd, rs, rt))
+let xor b rd rs rt = raw b (Instr.Alu_rrr (Op.Xor, rd, rs, rt))
+let nor b rd rs rt = raw b (Instr.Alu_rrr (Op.Nor, rd, rs, rt))
+let slt b rd rs rt = raw b (Instr.Alu_rrr (Op.Slt, rd, rs, rt))
+let sltu b rd rs rt = raw b (Instr.Alu_rrr (Op.Sltu, rd, rs, rt))
+
+let addi b rt rs imm = raw b (Instr.Alu_rri (Op.Add, rt, rs, imm))
+let addiu b rt rs imm = raw b (Instr.Alu_rri (Op.Addu, rt, rs, imm))
+let andi b rt rs imm = raw b (Instr.Alu_rri (Op.And, rt, rs, imm))
+let ori b rt rs imm = raw b (Instr.Alu_rri (Op.Or, rt, rs, imm))
+let xori b rt rs imm = raw b (Instr.Alu_rri (Op.Xor, rt, rs, imm))
+let slti b rt rs imm = raw b (Instr.Alu_rri (Op.Slt, rt, rs, imm))
+let sltiu b rt rs imm = raw b (Instr.Alu_rri (Op.Sltu, rt, rs, imm))
+let lui b rt imm = raw b (Instr.Lui (rt, imm))
+
+let sll b rd rt sh = raw b (Instr.Shift_imm (Op.Sll, rd, rt, sh))
+let srl b rd rt sh = raw b (Instr.Shift_imm (Op.Srl, rd, rt, sh))
+let sra b rd rt sh = raw b (Instr.Shift_imm (Op.Sra, rd, rt, sh))
+let sllv b rd rt rs = raw b (Instr.Shift_reg (Op.Sll, rd, rt, rs))
+let srlv b rd rt rs = raw b (Instr.Shift_reg (Op.Srl, rd, rt, rs))
+let srav b rd rt rs = raw b (Instr.Shift_reg (Op.Sra, rd, rt, rs))
+
+let mult b rs rt = raw b (Instr.Muldiv (Op.Mult, rs, rt))
+let multu b rs rt = raw b (Instr.Muldiv (Op.Multu, rs, rt))
+let div b rs rt = raw b (Instr.Muldiv (Op.Div, rs, rt))
+let divu b rs rt = raw b (Instr.Muldiv (Op.Divu, rs, rt))
+let mfhi b rd = raw b (Instr.Mfhi rd)
+let mflo b rd = raw b (Instr.Mflo rd)
+
+let lb b rt off rs = raw b (Instr.Load (Op.LB, rt, rs, off))
+let lbu b rt off rs = raw b (Instr.Load (Op.LBU, rt, rs, off))
+let lh b rt off rs = raw b (Instr.Load (Op.LH, rt, rs, off))
+let lhu b rt off rs = raw b (Instr.Load (Op.LHU, rt, rs, off))
+let lw b rt off rs = raw b (Instr.Load (Op.LW, rt, rs, off))
+let sb b rt off rs = raw b (Instr.Store (Op.SB, rt, rs, off))
+let sh b rt off rs = raw b (Instr.Store (Op.SH, rt, rs, off))
+let sw b rt off rs = raw b (Instr.Store (Op.SW, rt, rs, off))
+
+let beq b rs rt l = push b (Branch_to (Op.Beq, rs, rt, l))
+let bne b rs rt l = push b (Branch_to (Op.Bne, rs, rt, l))
+let blez b rs l = push b (Branch_to (Op.Blez, rs, Reg.zero, l))
+let bgtz b rs l = push b (Branch_to (Op.Bgtz, rs, Reg.zero, l))
+let bltz b rs l = push b (Branch_to (Op.Bltz, rs, Reg.zero, l))
+let bgez b rs l = push b (Branch_to (Op.Bgez, rs, Reg.zero, l))
+let j b l = push b (Jump_to l)
+let jal b l = push b (Jal_to l)
+let jr b rs = raw b (Instr.Jr rs)
+let jalr b rd rs = raw b (Instr.Jalr (rd, rs))
+
+let ext b eid dst src1 src2 = raw b (Instr.Ext { eid; dst; src1; src2 })
+let nop b = raw b Instr.Nop
+let halt b = raw b Instr.Halt
+
+let li b rd v =
+  let v32 = Word.sext32 v in
+  if v32 >= -32768 && v32 <= 32767 then addiu b rd Reg.zero v32
+  else if v32 >= 0 && v32 <= 0xFFFF then ori b rd Reg.zero v32
+  else begin
+    let u = Word.to_u32 v32 in
+    lui b rd (u lsr 16);
+    let low = u land 0xFFFF in
+    if low <> 0 then ori b rd rd low
+  end
+
+let move b rd rs = addu b rd rs Reg.zero

@@ -1,0 +1,129 @@
+(** An embedded assembler for writing T1000 kernels.
+
+    The builder accumulates instructions with string labels for control
+    flow and backpatches targets at {!build} time.  All emit functions
+    append one instruction (pseudo-instructions may append two and say
+    so).  Register arguments follow assembler order: destination first.
+
+    Example — a counted loop:
+    {[
+      let b = Builder.create ~name:"sum" () in
+      Builder.li b Reg.t0 0;                (* acc *)
+      Builder.li b Reg.t1 100;              (* n *)
+      Builder.label b "loop";
+      Builder.addu b Reg.t0 Reg.t0 Reg.t1;
+      Builder.addiu b Reg.t1 Reg.t1 (-1);
+      Builder.bgtz b Reg.t1 "loop";
+      Builder.halt b;
+      let program = Builder.build b
+    ]} *)
+
+open T1000_isa
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val label : t -> string -> unit
+(** Define a label at the current position.
+    @raise Invalid_argument if the label is already defined. *)
+
+val fresh_label : t -> string -> string
+(** A label name unique within this builder, derived from the prefix. *)
+
+val here : t -> int
+(** Index of the next instruction to be emitted. *)
+
+val build : t -> Program.t
+(** Resolve all labels and produce the program.
+    @raise Invalid_argument on an undefined label. *)
+
+(** {1 ALU, three-register} *)
+
+val add : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val addu : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val sub : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val subu : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val and_ : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val or_ : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val xor : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val nor : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val slt : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val sltu : t -> Reg.t -> Reg.t -> Reg.t -> unit
+
+(** {1 ALU, immediate} *)
+
+val addi : t -> Reg.t -> Reg.t -> int -> unit
+val addiu : t -> Reg.t -> Reg.t -> int -> unit
+val andi : t -> Reg.t -> Reg.t -> int -> unit
+val ori : t -> Reg.t -> Reg.t -> int -> unit
+val xori : t -> Reg.t -> Reg.t -> int -> unit
+val slti : t -> Reg.t -> Reg.t -> int -> unit
+val sltiu : t -> Reg.t -> Reg.t -> int -> unit
+val lui : t -> Reg.t -> int -> unit
+
+(** {1 Shifts} *)
+
+val sll : t -> Reg.t -> Reg.t -> int -> unit
+val srl : t -> Reg.t -> Reg.t -> int -> unit
+val sra : t -> Reg.t -> Reg.t -> int -> unit
+val sllv : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val srlv : t -> Reg.t -> Reg.t -> Reg.t -> unit
+val srav : t -> Reg.t -> Reg.t -> Reg.t -> unit
+
+(** {1 Multiply / divide} *)
+
+val mult : t -> Reg.t -> Reg.t -> unit
+val multu : t -> Reg.t -> Reg.t -> unit
+val div : t -> Reg.t -> Reg.t -> unit
+val divu : t -> Reg.t -> Reg.t -> unit
+val mfhi : t -> Reg.t -> unit
+val mflo : t -> Reg.t -> unit
+
+(** {1 Memory} *)
+
+val lb : t -> Reg.t -> int -> Reg.t -> unit
+(** [lb b rt off rs]: [rt <- sext8 mem\[rs+off\]]; note assembler operand
+    order [rt, off(rs)]. *)
+
+val lbu : t -> Reg.t -> int -> Reg.t -> unit
+val lh : t -> Reg.t -> int -> Reg.t -> unit
+val lhu : t -> Reg.t -> int -> Reg.t -> unit
+val lw : t -> Reg.t -> int -> Reg.t -> unit
+val sb : t -> Reg.t -> int -> Reg.t -> unit
+val sh : t -> Reg.t -> int -> Reg.t -> unit
+val sw : t -> Reg.t -> int -> Reg.t -> unit
+
+(** {1 Control flow} *)
+
+val beq : t -> Reg.t -> Reg.t -> string -> unit
+val bne : t -> Reg.t -> Reg.t -> string -> unit
+val blez : t -> Reg.t -> string -> unit
+val bgtz : t -> Reg.t -> string -> unit
+val bltz : t -> Reg.t -> string -> unit
+val bgez : t -> Reg.t -> string -> unit
+val j : t -> string -> unit
+val jal : t -> string -> unit
+val jr : t -> Reg.t -> unit
+val jalr : t -> Reg.t -> Reg.t -> unit
+
+(** {1 Misc} *)
+
+val ext : t -> int -> Reg.t -> Reg.t -> Reg.t -> unit
+(** [ext b eid dst src1 src2]: extended instruction (normally produced by
+    the rewriter, exposed for tests and hand-written examples). *)
+
+val nop : t -> unit
+val halt : t -> unit
+
+(** {1 Pseudo-instructions} *)
+
+val li : t -> Reg.t -> int -> unit
+(** Load a 32-bit constant: one instruction when it fits 16 bits
+    ([addiu]/[ori]), otherwise [lui] + [ori]. *)
+
+val move : t -> Reg.t -> Reg.t -> unit
+(** [addu rd, rs, r0]. *)
+
+val raw : t -> Instr.t -> unit
+(** Append an already-resolved instruction (targets must be final). *)

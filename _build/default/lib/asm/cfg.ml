@@ -1,0 +1,163 @@
+open T1000_isa
+
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  succ : int list;
+  pred : int list;
+}
+
+type t = {
+  program : Program.t;
+  blocks : block array;
+  block_of : int array;
+}
+
+let of_program program =
+  let n = Program.length program in
+  if n = 0 then invalid_arg "Cfg.of_program: empty program";
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  (* Return sites: the slot after each jal, used as conservative targets
+     of indirect jumps. *)
+  let return_sites = ref [] in
+  Program.iteri
+    (fun i instr ->
+      match instr with
+      | Instr.Branch (_, _, _, tgt) ->
+          leader.(tgt) <- true;
+          if i + 1 < n then leader.(i + 1) <- true
+      | Instr.Jump tgt ->
+          leader.(tgt) <- true;
+          if i + 1 < n then leader.(i + 1) <- true
+      | Instr.Jal tgt ->
+          leader.(tgt) <- true;
+          if i + 1 < n then begin
+            leader.(i + 1) <- true;
+            return_sites := (i + 1) :: !return_sites
+          end
+      | Instr.Jr _ | Instr.Jalr _ | Instr.Halt ->
+          if i + 1 < n then leader.(i + 1) <- true
+      | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _
+      | Instr.Shift_reg _ | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _
+      | Instr.Mflo _ | Instr.Load _ | Instr.Store _ | Instr.Ext _
+      | Instr.Cfgld _ | Instr.Nop ->
+          ())
+    program;
+  let block_of = Array.make n 0 in
+  let nblocks = ref 0 in
+  for i = 0 to n - 1 do
+    if leader.(i) then incr nblocks;
+    block_of.(i) <- !nblocks - 1
+  done;
+  let nblocks = !nblocks in
+  let first = Array.make nblocks 0 and last = Array.make nblocks 0 in
+  for i = n - 1 downto 0 do
+    let b = block_of.(i) in
+    first.(b) <- i
+  done;
+  for i = 0 to n - 1 do
+    let b = block_of.(i) in
+    last.(b) <- i
+  done;
+  let return_site_blocks =
+    List.sort_uniq compare (List.map (fun i -> block_of.(i)) !return_sites)
+  in
+  let succ_of b =
+    let term = last.(b) in
+    match Program.get program term with
+    | Instr.Branch (_, _, _, tgt) ->
+        let fall = if term + 1 < n then [ block_of.(term + 1) ] else [] in
+        List.sort_uniq compare (block_of.(tgt) :: fall)
+    | Instr.Jump tgt -> [ block_of.(tgt) ]
+    | Instr.Jal tgt -> [ block_of.(tgt) ]
+    | Instr.Jr _ | Instr.Jalr _ -> return_site_blocks
+    | Instr.Halt -> []
+    | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _
+    | Instr.Shift_reg _ | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _
+    | Instr.Mflo _ | Instr.Load _ | Instr.Store _ | Instr.Ext _
+    | Instr.Cfgld _ | Instr.Nop ->
+        if term + 1 < n then [ block_of.(term + 1) ] else []
+  in
+  let succ = Array.init nblocks succ_of in
+  let pred = Array.make nblocks [] in
+  Array.iteri
+    (fun b ss -> List.iter (fun s -> pred.(s) <- b :: pred.(s)) ss)
+    succ;
+  let blocks =
+    Array.init nblocks (fun id ->
+        {
+          id;
+          first = first.(id);
+          last = last.(id);
+          succ = succ.(id);
+          pred = List.rev pred.(id);
+        })
+  in
+  { program; blocks; block_of }
+
+let program t = t.program
+let n_blocks t = Array.length t.blocks
+
+let block t i =
+  if i < 0 || i >= Array.length t.blocks then
+    invalid_arg (Printf.sprintf "Cfg.block: %d" i)
+  else t.blocks.(i)
+
+let blocks t = Array.copy t.blocks
+
+let block_of_instr t i =
+  if i < 0 || i >= Array.length t.block_of then
+    invalid_arg (Printf.sprintf "Cfg.block_of_instr: %d" i)
+  else t.block_of.(i)
+
+let entry _ = 0
+
+let instr_indices b =
+  let rec go i acc = if i < b.first then acc else go (i - 1) (i :: acc) in
+  go b.last []
+
+let has_indirect_jump t b =
+  match Program.get t.program (block t b).last with
+  | Instr.Jr _ | Instr.Jalr _ -> true
+  | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _ | Instr.Shift_reg _
+  | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _ | Instr.Mflo _ | Instr.Load _
+  | Instr.Store _ | Instr.Branch _ | Instr.Jump _ | Instr.Jal _ | Instr.Ext _
+  | Instr.Cfgld _ | Instr.Nop | Instr.Halt ->
+      false
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cfg of %s (%d blocks)@," (Program.name t.program)
+    (n_blocks t);
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "B%d: [%d..%d] succ=[%s] pred=[%s]@," b.id b.first
+        b.last
+        (String.concat "," (List.map string_of_int b.succ))
+        (String.concat "," (List.map string_of_int b.pred)))
+    t.blocks;
+  Format.fprintf ppf "@]"
+
+let to_dot t =
+  let buf = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "digraph %S {\n  node [shape=box, fontname=monospace];\n"
+    (Program.name t.program);
+  Array.iter
+    (fun b ->
+      let body =
+        List.map
+          (fun i ->
+            Printf.sprintf "%d: %s" i
+              (String.concat "\\"
+                 (String.split_on_char '"'
+                    (T1000_isa.Instr.to_string (Program.get t.program i)))))
+          (instr_indices b)
+        |> String.concat "\\l"
+      in
+      bpf "  B%d [label=\"B%d\\l%s\\l\"];\n" b.id b.id body;
+      List.iter (fun s -> bpf "  B%d -> B%d;\n" b.id s) b.succ)
+    t.blocks;
+  bpf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** Control-flow graph over basic blocks.
+
+    Blocks partition the program's instruction slots.  Leaders are: slot
+    0, every branch/jump target, and every slot following a control
+    instruction or [Halt].  Indirect jumps ([jr]/[jalr]) are handled
+    conservatively: their successors are every return site (the slot
+    after each [jal]); liveness additionally treats them as having all
+    registers live (see {!Liveness}). *)
+
+type block = {
+  id : int;
+  first : int;  (** index of the first instruction in the block *)
+  last : int;   (** index of the last instruction (inclusive) *)
+  succ : int list;  (** successor block ids *)
+  pred : int list;  (** predecessor block ids *)
+}
+
+type t
+
+val of_program : Program.t -> t
+val program : t -> Program.t
+val n_blocks : t -> int
+val block : t -> int -> block
+val blocks : t -> block array
+(** Fresh copy. *)
+
+val block_of_instr : t -> int -> int
+(** Id of the block containing an instruction slot. *)
+
+val entry : t -> int
+(** Id of the entry block (always 0, containing slot 0). *)
+
+val instr_indices : block -> int list
+(** The slots of a block, in program order. *)
+
+val has_indirect_jump : t -> int -> bool
+(** Whether the given block ends in [jr]/[jalr]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : t -> string
+(** Graphviz rendering: one record node per basic block listing its
+    instructions, edges for control flow. *)

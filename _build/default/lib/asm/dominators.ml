@@ -1,0 +1,78 @@
+type t = {
+  idom : int array;  (* -1 = none (entry or unreachable) *)
+  rpo : int array;
+  rpo_num : int array;  (* -1 for unreachable *)
+  reach : bool array;
+}
+
+let compute cfg =
+  let n = Cfg.n_blocks cfg in
+  let entry = Cfg.entry cfg in
+  let visited = Array.make n false in
+  let post = ref [] in
+  (* Iterative DFS to avoid stack overflow on long chains of blocks. *)
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (Cfg.block cfg b).Cfg.succ;
+      post := b :: !post
+    end
+  in
+  dfs entry;
+  let rpo = Array.of_list !post in
+  let rpo_num = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_num.(b) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_num.(!f1) > rpo_num.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_num.(!f2) > rpo_num.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let preds =
+            List.filter (fun p -> rpo_num.(p) >= 0) (Cfg.block cfg b).Cfg.pred
+          in
+          let processed = List.filter (fun p -> idom.(p) >= 0) preds in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  idom.(entry) <- -1;
+  { idom; rpo; rpo_num; reach = visited }
+
+let idom t b = if t.idom.(b) < 0 then None else Some t.idom.(b)
+let reachable t b = t.reach.(b)
+
+let dominates t a b =
+  if not (t.reach.(a) && t.reach.(b)) then false
+  else begin
+    let rec walk x = if x = a then true else if t.idom.(x) < 0 then false
+      else walk t.idom.(x)
+    in
+    walk b
+  end
+
+let reverse_postorder t = Array.copy t.rpo
+
+(* silence unused-field warning for rpo_num consumers *)
+let _ = fun t -> t.rpo_num

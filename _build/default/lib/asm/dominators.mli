@@ -1,0 +1,24 @@
+(** Dominator analysis over a control-flow graph.
+
+    Implements the classic iterative dataflow formulation (Cooper, Harvey
+    & Kennedy style, with intersection over reverse postorder), adequate
+    for kernel-sized programs.  Blocks unreachable from the entry have no
+    immediate dominator and dominate nothing. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator of a block; [None] for the entry block and for
+    unreachable blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: does block [a] dominate block [b]?  Reflexive for
+    reachable blocks. *)
+
+val reachable : t -> int -> bool
+(** Whether the block is reachable from the entry. *)
+
+val reverse_postorder : t -> int array
+(** Reachable blocks in reverse postorder. *)

@@ -1,0 +1,86 @@
+open T1000_isa
+
+type t = {
+  cfg : Cfg.t;
+  live_in : Regset.t array;
+  live_out : Regset.t array;
+}
+
+(* r0 is hard-wired to zero: reading it is not a real use. *)
+let instr_use i =
+  Regset.remove 0 (Regset.of_list (Instr.uses i))
+let instr_def i = Regset.of_list (Instr.defs i)
+
+let block_use_def cfg b =
+  (* use = registers read before any write in the block;
+     def = registers written anywhere in the block. *)
+  let blk = Cfg.block cfg b in
+  let program = Cfg.program cfg in
+  let use = ref Regset.empty and def = ref Regset.empty in
+  List.iter
+    (fun i ->
+      let instr = Program.get program i in
+      use := Regset.union !use (Regset.diff (instr_use instr) !def);
+      def := Regset.union !def (instr_def instr))
+    (Cfg.instr_indices blk);
+  (!use, !def)
+
+let compute cfg =
+  let n = Cfg.n_blocks cfg in
+  let use = Array.make n Regset.empty and def = Array.make n Regset.empty in
+  for b = 0 to n - 1 do
+    let u, d = block_use_def cfg b in
+    use.(b) <- u;
+    def.(b) <- d
+  done;
+  let live_in = Array.make n Regset.empty in
+  let live_out = Array.make n Regset.empty in
+  let base_out b =
+    if Cfg.has_indirect_jump cfg b then Regset.full else Regset.empty
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for b = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> Regset.union acc live_in.(s))
+          (base_out b) (Cfg.block cfg b).Cfg.succ
+      in
+      let inn = Regset.union use.(b) (Regset.diff out def.(b)) in
+      if not (Regset.equal out live_out.(b) && Regset.equal inn live_in.(b))
+      then begin
+        live_out.(b) <- out;
+        live_in.(b) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { cfg; live_in; live_out }
+
+let live_in t b = t.live_in.(b)
+let live_out t b = t.live_out.(b)
+
+let live_after_instr t i =
+  let b = Cfg.block_of_instr t.cfg i in
+  let blk = Cfg.block t.cfg b in
+  let program = Cfg.program t.cfg in
+  (* Walk backward from the block end to just after slot [i]. *)
+  let live = ref t.live_out.(b) in
+  let j = ref blk.Cfg.last in
+  while !j > i do
+    let instr = Program.get program !j in
+    live :=
+      Regset.union (instr_use instr) (Regset.diff !live (instr_def instr));
+    decr j
+  done;
+  !live
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>liveness (%d blocks)@," (Cfg.n_blocks t.cfg);
+  Array.iteri
+    (fun b inn ->
+      Format.fprintf ppf "B%d: in=%a out=%a@," b Regset.pp inn Regset.pp
+        t.live_out.(b))
+    t.live_in;
+  Format.fprintf ppf "@]"

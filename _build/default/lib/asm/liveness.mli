@@ -1,0 +1,28 @@
+(** Backward live-register dataflow analysis.
+
+    Used by the program rewriter to prove that the intermediate results
+    of a collapsed instruction sequence are dead after the sequence —
+    the condition under which deleting the intermediate writes is safe.
+
+    Conservative choices: blocks ending in an indirect jump ([jr]/
+    [jalr]) are given a full live-out set, and [Halt] blocks an empty
+    one.  Dependence registers are the 34-register namespace of
+    {!T1000_isa.Instr}; r0 (hard-wired zero) is never considered used
+    or live. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val live_in : t -> int -> Regset.t
+(** Registers live on entry to a block. *)
+
+val live_out : t -> int -> Regset.t
+(** Registers live on exit from a block. *)
+
+val live_after_instr : t -> int -> Regset.t
+(** Registers live immediately {e after} the given instruction slot
+    executes (before any later instruction of the same block).  Computed
+    by walking backward from the block's live-out. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+type loop = {
+  header : int;
+  body : int list;
+  depth : int;
+  parent : int option;
+}
+
+module Int_set = Set.Make (Int)
+module Int_map = Map.Make (Int)
+
+type t = {
+  cfg : Cfg.t;
+  loops : loop array;
+  (* innermost loop index per block, -1 when the block is in no loop *)
+  innermost : int array;
+}
+
+let natural_loop cfg dom ~header ~sources =
+  (* Blocks that reach a back-edge source without passing through the
+     header: reverse DFS from each source, stopping at the header. *)
+  let body = ref (Int_set.singleton header) in
+  let rec walk b =
+    if not (Int_set.mem b !body) then begin
+      body := Int_set.add b !body;
+      List.iter walk (Cfg.block cfg b).Cfg.pred
+    end
+  in
+  List.iter walk sources;
+  ignore dom;
+  !body
+
+let compute cfg dom =
+  let n = Cfg.n_blocks cfg in
+  (* Collect back edges grouped by header. *)
+  let by_header = ref Int_map.empty in
+  for b = 0 to n - 1 do
+    if Dominators.reachable dom b then
+      List.iter
+        (fun s ->
+          if Dominators.dominates dom s b then
+            by_header :=
+              Int_map.update s
+                (function None -> Some [ b ] | Some l -> Some (b :: l))
+                !by_header)
+        (Cfg.block cfg b).Cfg.succ
+  done;
+  let raw =
+    Int_map.fold
+      (fun header sources acc ->
+        (header, natural_loop cfg dom ~header ~sources) :: acc)
+      !by_header []
+  in
+  (* Nesting: loop A is inside loop B iff A's body is a subset of B's and
+     A <> B.  With natural loops sharing no header after merging, subset
+     ordering is a forest. *)
+  let arr = Array.of_list raw in
+  let count = Array.length arr in
+  let subset a b = Int_set.subset (snd arr.(a)) (snd arr.(b)) in
+  let parent = Array.make count None in
+  for a = 0 to count - 1 do
+    for b = 0 to count - 1 do
+      if a <> b && subset a b then
+        match parent.(a) with
+        | None -> parent.(a) <- Some b
+        | Some p ->
+            (* pick the smallest enclosing loop *)
+            if subset b p then parent.(a) <- Some b
+    done
+  done;
+  let rec depth_of i =
+    match parent.(i) with None -> 1 | Some p -> 1 + depth_of p
+  in
+  let depths = Array.init count depth_of in
+  (* Order loops innermost-first and remap parents. *)
+  let order = Array.init count (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare depths.(b) depths.(a) with
+      | 0 -> compare (fst arr.(a)) (fst arr.(b))
+      | c -> c)
+    order;
+  let new_index = Array.make count 0 in
+  Array.iteri (fun pos old -> new_index.(old) <- pos) order;
+  let loops =
+    Array.map
+      (fun old ->
+        let header, body = arr.(old) in
+        {
+          header;
+          body = Int_set.elements body;
+          depth = depths.(old);
+          parent = Option.map (fun p -> new_index.(p)) parent.(old);
+        })
+      order
+  in
+  (* Innermost loop per block: loops are innermost-first, so the first
+     loop containing a block wins. *)
+  let innermost = Array.make n (-1) in
+  for b = 0 to n - 1 do
+    let rec find i =
+      if i >= Array.length loops then -1
+      else if List.mem b loops.(i).body then i
+      else find (i + 1)
+    in
+    innermost.(b) <- find 0
+  done;
+  { cfg; loops; innermost }
+
+let loops t = Array.copy t.loops
+
+let innermost_at_instr t i =
+  let b = Cfg.block_of_instr t.cfg i in
+  if t.innermost.(b) < 0 then None else Some t.innermost.(b)
+
+let loop_of_header t h =
+  let rec find i =
+    if i >= Array.length t.loops then None
+    else if t.loops.(i).header = h then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let instr_in_loop t ~loop_idx i =
+  let b = Cfg.block_of_instr t.cfg i in
+  List.mem b t.loops.(loop_idx).body
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d loops@," (Array.length t.loops);
+  Array.iteri
+    (fun i l ->
+      Format.fprintf ppf "L%d: header=B%d depth=%d parent=%s body=[%s]@," i
+        l.header l.depth
+        (match l.parent with None -> "-" | Some p -> "L" ^ string_of_int p)
+        (String.concat "," (List.map string_of_int l.body)))
+    t.loops;
+  Format.fprintf ppf "@]"

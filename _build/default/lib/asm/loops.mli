@@ -1,0 +1,35 @@
+(** Natural-loop detection.
+
+    A back edge is an edge [n -> h] whose target [h] dominates its source
+    [n]; the natural loop of [h] is the set of blocks that can reach some
+    back-edge source without passing through [h].  Back edges sharing a
+    header are merged into one loop, and loops are nested by body
+    inclusion.  The paper's selective algorithm walks loop bodies one at
+    a time (Figure 5); this module provides those bodies. *)
+
+type loop = {
+  header : int;  (** header block id *)
+  body : int list;  (** block ids, header included, ascending *)
+  depth : int;  (** nesting depth; outermost loops have depth 1 *)
+  parent : int option;  (** index (into {!loops}) of the enclosing loop *)
+}
+
+type t
+
+val compute : Cfg.t -> Dominators.t -> t
+
+val loops : t -> loop array
+(** All loops, ordered innermost-first (deepest nesting first, then by
+    header block id).  A fresh copy. *)
+
+val innermost_at_instr : t -> int -> int option
+(** Index into {!loops} of the innermost loop containing the instruction
+    slot, if any. *)
+
+val loop_of_header : t -> int -> int option
+(** Index into {!loops} of the loop whose header is the given block. *)
+
+val instr_in_loop : t -> loop_idx:int -> int -> bool
+(** Whether an instruction slot belongs to the loop's body. *)
+
+val pp : Format.formatter -> t -> unit

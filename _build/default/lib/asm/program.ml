@@ -1,0 +1,70 @@
+open T1000_isa
+
+type t = {
+  name : string;
+  code : Instr.t array;
+}
+
+let validate code =
+  let n = Array.length code in
+  let check_target i tgt =
+    if tgt < 0 || tgt >= n then
+      invalid_arg
+        (Printf.sprintf "Program.make: instruction %d targets slot %d/%d" i
+           tgt n)
+  in
+  Array.iteri
+    (fun i instr ->
+      match instr with
+      | Instr.Branch (_, _, _, tgt) | Instr.Jump tgt | Instr.Jal tgt ->
+          check_target i tgt
+      | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _
+      | Instr.Shift_reg _ | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _
+      | Instr.Mflo _ | Instr.Load _ | Instr.Store _ | Instr.Jr _
+      | Instr.Jalr _ | Instr.Ext _ | Instr.Cfgld _ | Instr.Nop
+      | Instr.Halt ->
+          ())
+    code
+
+let make ?(name = "anonymous") code =
+  let code = Array.copy code in
+  validate code;
+  { name; code }
+
+let name t = t.name
+let length t = Array.length t.code
+
+let get t i =
+  if i < 0 || i >= Array.length t.code then
+    invalid_arg (Printf.sprintf "Program.get: slot %d" i)
+  else t.code.(i)
+
+let instrs t = Array.copy t.code
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri (fun i instr -> acc := f i instr !acc) t.code;
+  !acc
+
+let iteri f t = Array.iteri f t.code
+
+let max_ext_id t =
+  fold
+    (fun _ instr acc ->
+      match instr with
+      | Instr.Ext { eid; _ } -> max eid acc
+      | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _
+      | Instr.Shift_reg _ | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _
+      | Instr.Mflo _ | Instr.Load _ | Instr.Store _ | Instr.Branch _
+      | Instr.Jump _ | Instr.Jal _ | Instr.Jr _ | Instr.Jalr _
+      | Instr.Cfgld _ | Instr.Nop | Instr.Halt ->
+          acc)
+    t (-1)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program %s (%d instructions)@," t.name
+    (Array.length t.code);
+  Array.iteri
+    (fun i instr -> Format.fprintf ppf "%4d: %a@," i Instr.pp instr)
+    t.code;
+  Format.fprintf ppf "@]"

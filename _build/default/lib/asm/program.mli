@@ -1,0 +1,34 @@
+(** Resolved T1000 programs.
+
+    A program is a dense array of instructions whose branch/jump targets
+    are instruction indices, together with the table of extended
+    instructions it references.  Programs are immutable once built; the
+    rewriter in {!T1000_select.Rewrite} produces new programs. *)
+
+open T1000_isa
+
+type t
+
+val make : ?name:string -> Instr.t array -> t
+(** Copies the array.  Validates that every control-flow target is a
+    valid index and that the last reachable paths end in [Halt] is {e not}
+    checked here (the interpreter raises if execution falls off the end).
+    @raise Invalid_argument on an out-of-range branch/jump target. *)
+
+val name : t -> string
+val length : t -> int
+
+val get : t -> int -> Instr.t
+(** @raise Invalid_argument when out of range. *)
+
+val instrs : t -> Instr.t array
+(** A fresh copy of the instruction array. *)
+
+val fold : (int -> Instr.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iteri : (int -> Instr.t -> unit) -> t -> unit
+
+val max_ext_id : t -> int
+(** Largest extended-instruction id referenced, or [-1] if none. *)
+
+val pp : Format.formatter -> t -> unit
+(** Disassembly listing, one instruction per line with slot indices. *)

@@ -1,0 +1,51 @@
+open T1000_isa
+
+type t = int
+
+let empty = 0
+let full = (1 lsl Instr.dep_reg_count) - 1
+
+let check r =
+  if r < 0 || r >= Instr.dep_reg_count then
+    invalid_arg (Printf.sprintf "Regset: register %d out of range" r)
+
+let singleton r =
+  check r;
+  1 lsl r
+
+let add r s = singleton r lor s
+let remove r s = s land lnot (singleton r)
+
+let mem r s =
+  check r;
+  s land (1 lsl r) <> 0
+
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let of_list l = List.fold_left (fun s r -> add r s) empty l
+
+let elements s =
+  let rec go r acc =
+    if r < 0 then acc
+    else go (r - 1) (if s land (1 lsl r) <> 0 then r :: acc else acc)
+  in
+  go (Instr.dep_reg_count - 1) []
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s land (s - 1)) (acc + 1) in
+  go s 0
+
+let is_empty s = s = 0
+let subset a b = a land lnot b = 0
+let equal (a : t) b = a = b
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat ","
+       (List.map
+          (fun r ->
+            if r = Instr.hi_reg then "hi"
+            else if r = Instr.lo_reg then "lo"
+            else "r" ^ string_of_int r)
+          (elements s)))

@@ -1,0 +1,24 @@
+(** Sets of dependence registers (GPRs 0-31 plus HI/LO), packed into a
+    native-int bitmask.  The namespace matches
+    {!T1000_isa.Instr.dep_reg_count}. *)
+
+type t = private int
+
+val empty : t
+val full : t
+(** All 34 dependence registers. *)
+
+val singleton : int -> t
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val of_list : int list -> t
+val elements : t -> int list
+val cardinal : t -> int
+val is_empty : t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Set-associative cache timing model.
+
+    Write-back, write-allocate, true-LRU replacement.  Only tags are
+    modelled (the simulator keeps data in {!T1000_machine.Memory}); the
+    cache answers hit/miss and tracks dirty evictions so the hierarchy
+    can charge write-back traffic. *)
+
+type t
+
+type access_result = {
+  hit : bool;
+  dirty_evict : int;
+      (** address of a dirty line written back by this access's fill,
+          [-1] if none *)
+}
+
+val create :
+  name:string -> sets:int -> ways:int -> line_bytes:int -> t
+(** [sets], [ways] and [line_bytes] must be positive; [sets] and
+    [line_bytes] powers of two.
+    @raise Invalid_argument otherwise. *)
+
+val access : t -> addr:int -> write:bool -> access_result
+(** Look up the line containing [addr]; on a miss, fill it, evicting the
+    LRU way. *)
+
+val probe : t -> addr:int -> bool
+(** Hit/miss without updating any state. *)
+
+val name : t -> string
+val size_bytes : t -> int
+val line_bytes : t -> int
+
+val accesses : t -> int
+val misses : t -> int
+val writebacks : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit
+val flush : t -> unit
+(** Invalidate every line (statistics are kept). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+type config = {
+  l1i_sets : int;
+  l1i_ways : int;
+  l1i_line : int;
+  l1d_sets : int;
+  l1d_ways : int;
+  l1d_line : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_line : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  page_bytes : int;
+  l1_hit : int;
+  l2_hit : int;
+  mem : int;
+  tlb_miss : int;
+}
+
+let default_config =
+  {
+    l1i_sets = 256;
+    l1i_ways = 2;
+    l1i_line = 32;
+    l1d_sets = 256;
+    l1d_ways = 2;
+    l1d_line = 32;
+    l2_sets = 1024;
+    l2_ways = 4;
+    l2_line = 64;
+    itlb_entries = 32;
+    dtlb_entries = 64;
+    page_bytes = 4096;
+    l1_hit = 1;
+    l2_hit = 6;
+    mem = 34;
+    tlb_miss = 30;
+  }
+
+type t = {
+  cfg : config;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+}
+
+let create cfg =
+  {
+    cfg;
+    l1i =
+      Cache.create ~name:"l1i" ~sets:cfg.l1i_sets ~ways:cfg.l1i_ways
+        ~line_bytes:cfg.l1i_line;
+    l1d =
+      Cache.create ~name:"l1d" ~sets:cfg.l1d_sets ~ways:cfg.l1d_ways
+        ~line_bytes:cfg.l1d_line;
+    l2 =
+      Cache.create ~name:"l2u" ~sets:cfg.l2_sets ~ways:cfg.l2_ways
+        ~line_bytes:cfg.l2_line;
+    itlb =
+      Tlb.create ~name:"itlb" ~entries:cfg.itlb_entries
+        ~page_bytes:cfg.page_bytes;
+    dtlb =
+      Tlb.create ~name:"dtlb" ~entries:cfg.dtlb_entries
+        ~page_bytes:cfg.page_bytes;
+  }
+
+let through_l2 t ~addr ~write base =
+  let r2 = Cache.access t.l2 ~addr ~write in
+  (* A dirty L2 eviction is buffered; it costs no latency here. *)
+  if r2.Cache.hit then base + t.cfg.l2_hit else base + t.cfg.l2_hit + t.cfg.mem
+
+let data_access t ~addr ~write =
+  let tlb_pen = if Tlb.access t.dtlb ~addr then 0 else t.cfg.tlb_miss in
+  let r1 = Cache.access t.l1d ~addr ~write in
+  let lat =
+    if r1.Cache.hit then t.cfg.l1_hit
+    else begin
+      (* Write back a dirty L1 victim into L2 (counted, not timed). *)
+      if r1.Cache.dirty_evict >= 0 then
+        ignore (Cache.access t.l2 ~addr:r1.Cache.dirty_evict ~write:true);
+      through_l2 t ~addr ~write:false t.cfg.l1_hit
+    end
+  in
+  lat + tlb_pen
+
+let fetch_latency t ~addr =
+  let tlb_pen = if Tlb.access t.itlb ~addr then 0 else t.cfg.tlb_miss in
+  let r1 = Cache.access t.l1i ~addr ~write:false in
+  let lat =
+    if r1.Cache.hit then t.cfg.l1_hit
+    else through_l2 t ~addr ~write:false t.cfg.l1_hit
+  in
+  lat + tlb_pen
+
+let load_latency t ~addr = data_access t ~addr ~write:false
+let store_latency t ~addr = data_access t ~addr ~write:true
+
+let l1i t = t.l1i
+let l1d t = t.l1d
+let l2 t = t.l2
+let itlb t = t.itlb
+let dtlb t = t.dtlb
+
+let reset_stats t =
+  Cache.reset_stats t.l1i;
+  Cache.reset_stats t.l1d;
+  Cache.reset_stats t.l2;
+  Tlb.reset_stats t.itlb;
+  Tlb.reset_stats t.dtlb
+
+let flush t =
+  Cache.flush t.l1i;
+  Cache.flush t.l1d;
+  Cache.flush t.l2;
+  Tlb.flush t.itlb;
+  Tlb.flush t.dtlb
+
+let pp_stats ppf t =
+  Format.fprintf ppf "@[<v>%a@,%a@,%a@,%a@,%a@]" Cache.pp_stats t.l1i
+    Cache.pp_stats t.l1d Cache.pp_stats t.l2 Tlb.pp_stats t.itlb Tlb.pp_stats
+    t.dtlb

@@ -1,0 +1,53 @@
+(** Two-level memory hierarchy with TLBs.
+
+    Separate L1 instruction and data caches backed by a unified L2, plus
+    instruction and data TLBs — the configuration simulated in Section 3
+    of the paper.  Latencies are additive: an access that misses at L1
+    and hits at L2 costs [l1_hit + l2_hit]; an L2 miss adds [mem]; a TLB
+    miss adds [tlb_miss] on top.  Dirty write-backs are counted but
+    buffered (they add no latency to the triggering access). *)
+
+type config = {
+  l1i_sets : int;
+  l1i_ways : int;
+  l1i_line : int;
+  l1d_sets : int;
+  l1d_ways : int;
+  l1d_line : int;
+  l2_sets : int;
+  l2_ways : int;
+  l2_line : int;
+  itlb_entries : int;
+  dtlb_entries : int;
+  page_bytes : int;
+  l1_hit : int;  (** L1 hit latency, cycles *)
+  l2_hit : int;  (** additional cycles for an L2 hit *)
+  mem : int;  (** additional cycles for an L2 miss *)
+  tlb_miss : int;  (** cycles added by a TLB miss *)
+}
+
+val default_config : config
+(** 16 KiB 2-way L1s with 32-byte lines, 256 KiB 4-way unified L2 with
+    64-byte lines, 32/64-entry I/D TLBs with 4 KiB pages; latencies
+    1 / +6 / +34 / 30 — the SimpleScalar-era defaults the paper's
+    methodology section describes. *)
+
+type t
+
+val create : config -> t
+
+val fetch_latency : t -> addr:int -> int
+(** Latency of fetching the instruction block containing [addr]. *)
+
+val load_latency : t -> addr:int -> int
+val store_latency : t -> addr:int -> int
+
+val l1i : t -> Cache.t
+val l1d : t -> Cache.t
+val l2 : t -> Cache.t
+val itlb : t -> Tlb.t
+val dtlb : t -> Tlb.t
+
+val reset_stats : t -> unit
+val flush : t -> unit
+val pp_stats : Format.formatter -> t -> unit

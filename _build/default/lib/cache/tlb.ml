@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  page_shift : int;
+  pages : int array;  (* -1 = empty *)
+  lru : int array;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go n acc = if n <= 1 then acc else go (n lsr 1) (acc + 1) in
+  go n 0
+
+let create ~name ~entries ~page_bytes =
+  if entries <= 0 then invalid_arg "Tlb.create: entries <= 0";
+  if not (is_pow2 page_bytes) then
+    invalid_arg "Tlb.create: page_bytes not a power of 2";
+  {
+    name;
+    page_shift = log2 page_bytes;
+    pages = Array.make entries (-1);
+    lru = Array.init entries (fun i -> i);
+    accesses = 0;
+    misses = 0;
+  }
+
+let touch t i =
+  let age = t.lru.(i) in
+  for j = 0 to Array.length t.lru - 1 do
+    if t.lru.(j) < age then t.lru.(j) <- t.lru.(j) + 1
+  done;
+  t.lru.(i) <- 0
+
+let access t ~addr =
+  t.accesses <- t.accesses + 1;
+  let page = addr lsr t.page_shift in
+  let n = Array.length t.pages in
+  let rec find i = if i >= n then -1 else if t.pages.(i) = page then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then begin
+    touch t i;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* victim: empty entry if any, else oldest *)
+    let rec victim i best best_age =
+      if i >= n then best
+      else if t.pages.(i) = -1 then i
+      else if t.lru.(i) > best_age then victim (i + 1) i t.lru.(i)
+      else victim (i + 1) best best_age
+    in
+    let v = victim 0 0 (-1) in
+    t.pages.(v) <- page;
+    touch t v;
+    false
+  end
+
+let name t = t.name
+let accesses t = t.accesses
+let misses t = t.misses
+
+let miss_rate t =
+  if t.accesses = 0 then 0.0
+  else float_of_int t.misses /. float_of_int t.accesses
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let flush t = Array.fill t.pages 0 (Array.length t.pages) (-1)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%s: %d accesses, %d misses (%.2f%%)" t.name t.accesses
+    t.misses (100.0 *. miss_rate t)

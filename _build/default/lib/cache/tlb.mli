@@ -1,0 +1,23 @@
+(** Translation lookaside buffer timing model.
+
+    Fully-associative, LRU, fixed page size.  Like {!Cache}, only
+    hit/miss timing is modelled — there is no real address translation
+    in the simulator (the paper's SimpleScalar substrate behaves the
+    same way). *)
+
+type t
+
+val create : name:string -> entries:int -> page_bytes:int -> t
+(** @raise Invalid_argument unless [entries > 0] and [page_bytes] is a
+    power of two. *)
+
+val access : t -> addr:int -> bool
+(** [true] on hit; a miss installs the page. *)
+
+val name : t -> string
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset_stats : t -> unit
+val flush : t -> unit
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/t1000.ml: Experiment Report Runner

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Hashtbl List Mconfig Printf Registry Runner T1000_dfg T1000_hwcost T1000_ooo T1000_select T1000_workloads Workload

@@ -1,0 +1,1 @@
+lib/core/experiment.mli: T1000_hwcost T1000_ooo T1000_workloads Workload

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Cfg Extinstr Liveness Loops Mconfig Profile Program Stats T1000_asm T1000_dfg T1000_ooo T1000_profile T1000_select T1000_workloads Workload

@@ -1,0 +1,370 @@
+open T1000_ooo
+open T1000_workloads
+
+type ctx = {
+  suite : Workload.t list;
+  analyses : (string, Runner.analysis) Hashtbl.t;
+  baselines : (string, Runner.run) Hashtbl.t;
+}
+
+let create_ctx ?(workloads = Registry.all) () =
+  {
+    suite = workloads;
+    analyses = Hashtbl.create 8;
+    baselines = Hashtbl.create 8;
+  }
+
+let workloads ctx = ctx.suite
+
+let analysis ctx (w : Workload.t) =
+  match Hashtbl.find_opt ctx.analyses w.Workload.name with
+  | Some a -> a
+  | None ->
+      let a = Runner.analyze w in
+      Hashtbl.replace ctx.analyses w.Workload.name a;
+      a
+
+let baseline ctx (w : Workload.t) =
+  match Hashtbl.find_opt ctx.baselines w.Workload.name with
+  | Some r -> r
+  | None ->
+      let r =
+        Runner.run ~analysis:(analysis ctx w) w (Runner.setup Runner.Baseline)
+      in
+      Hashtbl.replace ctx.baselines w.Workload.name r;
+      r
+
+let baseline_stats ctx w = (baseline ctx w).Runner.stats
+let run_setup ctx w setup = Runner.run ~analysis:(analysis ctx w) w setup
+
+let speedup_of ctx w setup =
+  let r = run_setup ctx w setup in
+  Runner.speedup ~baseline:(baseline ctx w) r
+
+(* -------- Figure 2 -------- *)
+
+type f2_row = {
+  f2_name : string;
+  f2_greedy_unlimited : float;
+  f2_greedy_2pfu : float;
+}
+
+let figure2 ctx =
+  List.map
+    (fun w ->
+      {
+        f2_name = w.Workload.name;
+        f2_greedy_unlimited =
+          speedup_of ctx w (Runner.setup ~n_pfus:None ~penalty:0 Runner.Greedy);
+        f2_greedy_2pfu =
+          speedup_of ctx w
+            (Runner.setup ~n_pfus:(Some 2) ~penalty:10 Runner.Greedy);
+      })
+    ctx.suite
+
+(* -------- Section 4.1 table -------- *)
+
+type t41_row = {
+  t41_name : string;
+  t41_distinct : int;
+  t41_shortest : int;
+  t41_longest : int;
+  t41_occurrences : int;
+}
+
+let table41 ctx =
+  List.map
+    (fun w ->
+      let a = analysis ctx w in
+      let r =
+        T1000_select.Greedy.select a.Runner.cfg a.Runner.live a.Runner.profile
+      in
+      let entries = T1000_select.Extinstr.entries r.T1000_select.Greedy.table in
+      let sizes =
+        List.map
+          (fun e -> T1000_dfg.Dfg.size e.T1000_select.Extinstr.dfg)
+          entries
+      in
+      {
+        t41_name = w.Workload.name;
+        t41_distinct = List.length entries;
+        t41_shortest = List.fold_left min max_int sizes;
+        t41_longest = List.fold_left max 0 sizes;
+        t41_occurrences =
+          T1000_select.Extinstr.total_occurrences r.T1000_select.Greedy.table;
+      })
+    ctx.suite
+
+(* -------- Figure 6 -------- *)
+
+type f6_row = {
+  f6_name : string;
+  f6_sel_2 : float;
+  f6_sel_4 : float;
+  f6_sel_unlimited : float;
+}
+
+let figure6 ctx =
+  List.map
+    (fun w ->
+      let sel n = Runner.setup ~n_pfus:n ~penalty:10 Runner.Selective in
+      {
+        f6_name = w.Workload.name;
+        f6_sel_2 = speedup_of ctx w (sel (Some 2));
+        f6_sel_4 = speedup_of ctx w (sel (Some 4));
+        f6_sel_unlimited = speedup_of ctx w (sel None);
+      })
+    ctx.suite
+
+(* -------- Section 5.2 penalty sweep -------- *)
+
+type s52_row = {
+  s52_name : string;
+  s52_points : (int * float * float) list;
+}
+
+let penalty_sweep ?(penalties = [ 10; 50; 100; 250; 500 ]) ctx =
+  List.map
+    (fun w ->
+      {
+        s52_name = w.Workload.name;
+        s52_points =
+          List.map
+            (fun p ->
+              ( p,
+                speedup_of ctx w
+                  (Runner.setup ~n_pfus:(Some 2) ~penalty:p Runner.Selective),
+                speedup_of ctx w
+                  (Runner.setup ~n_pfus:(Some 2) ~penalty:p Runner.Greedy) ))
+            penalties;
+      })
+    ctx.suite
+
+(* -------- Figure 7 -------- *)
+
+type f7_result = {
+  f7_costs : (string * int list) list;
+  f7_histogram : T1000_hwcost.Area.t;
+  f7_max : int;
+}
+
+let figure7 ctx =
+  let costs =
+    List.map
+      (fun w ->
+        let r =
+          run_setup ctx w (Runner.setup ~n_pfus:(Some 4) Runner.Selective)
+        in
+        ( w.Workload.name,
+          List.map
+            (fun e -> e.T1000_select.Extinstr.lut_cost)
+            (T1000_select.Extinstr.entries r.Runner.table) ))
+      ctx.suite
+  in
+  let all = List.concat_map snd costs in
+  {
+    f7_costs = costs;
+    f7_histogram = T1000_hwcost.Area.histogram all;
+    f7_max = List.fold_left max 0 all;
+  }
+
+(* -------- Ablations -------- *)
+
+type sweep_row = {
+  sweep_name : string;
+  sweep_points : (string * float) list;
+}
+
+let pfu_count_sweep ?(counts = [ 1; 2; 3; 4; 6; 8 ]) ctx =
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.map
+            (fun n ->
+              ( string_of_int n,
+                speedup_of ctx w
+                  (Runner.setup ~n_pfus:(Some n) Runner.Selective) ))
+            counts;
+      })
+    ctx.suite
+
+let width_threshold_sweep ?(widths = [ 8; 12; 18; 24; 32 ]) ctx =
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.map
+            (fun width ->
+              let s = Runner.setup ~n_pfus:None ~penalty:0 Runner.Greedy in
+              let s =
+                {
+                  s with
+                  Runner.extract =
+                    {
+                      s.Runner.extract with
+                      T1000_dfg.Extract.width_threshold = width;
+                    };
+                }
+              in
+              (string_of_int width, speedup_of ctx w s))
+            widths;
+      })
+    ctx.suite
+
+let gain_threshold_sweep ?(thresholds = [ 0.001; 0.005; 0.02 ]) ctx =
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.map
+            (fun th ->
+              let s = Runner.setup ~n_pfus:(Some 2) Runner.Selective in
+              let s = { s with Runner.gain_threshold = th } in
+              (Printf.sprintf "%.3f" th, speedup_of ctx w s))
+            thresholds;
+      })
+    ctx.suite
+
+let replacement_sweep ctx =
+  let policies =
+    [
+      ("lru", Mconfig.Lru);
+      ("fifo", Mconfig.Fifo);
+      ("rand", Mconfig.Random_det);
+    ]
+  in
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.map
+            (fun (label, pol) ->
+              let s = Runner.setup ~n_pfus:(Some 2) Runner.Selective in
+              let s = { s with Runner.replacement = pol } in
+              (label, speedup_of ctx w s))
+            policies;
+      })
+    ctx.suite
+
+let machine_sweep ctx =
+  let machines =
+    [
+      ( "2-wide/ruu32",
+        {
+          Mconfig.default with
+          Mconfig.fetch_width = 2;
+          decode_width = 2;
+          issue_width = 2;
+          commit_width = 2;
+          ruu_size = 32;
+          n_int_alu = 2;
+          n_mem_ports = 1;
+        } );
+      ("4-wide/ruu64", Mconfig.default);
+      ( "8-wide/ruu128",
+        {
+          Mconfig.default with
+          Mconfig.fetch_width = 8;
+          decode_width = 8;
+          issue_width = 8;
+          commit_width = 8;
+          ruu_size = 128;
+          n_int_alu = 8;
+          n_mem_ports = 4;
+        } );
+    ]
+  in
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.map
+            (fun (label, m) ->
+              (* Compare like with like: the no-PFU baseline must run on
+                 the same machine width. *)
+              let base_setup =
+                { (Runner.setup Runner.Baseline) with Runner.machine = m }
+              in
+              let sel_setup =
+                {
+                  (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
+                  Runner.machine = m;
+                }
+              in
+              let b = run_setup ctx w base_setup in
+              let r = run_setup ctx w sel_setup in
+              (label, Runner.speedup ~baseline:b r))
+            machines;
+      })
+    ctx.suite
+
+let latency_model_sweep ctx =
+  let models = [ ("1-cycle", `Single_cycle); ("lut-levels", `Lut_levels) ] in
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.map
+            (fun (label, m) ->
+              let s = Runner.setup ~n_pfus:(Some 4) Runner.Selective in
+              let s = { s with Runner.ext_timing = m } in
+              (label, speedup_of ctx w s))
+            models;
+      })
+    ctx.suite
+
+let branch_predictor_sweep ctx =
+  let preds =
+    [ ("perfect", Mconfig.Perfect); ("bimodal-2k", Mconfig.Bimodal 2048) ]
+  in
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.map
+            (fun (label, bp) ->
+              let machine = { Mconfig.default with Mconfig.branch_pred = bp } in
+              let base_setup =
+                { (Runner.setup Runner.Baseline) with Runner.machine = machine }
+              in
+              let sel_setup =
+                {
+                  (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
+                  Runner.machine = machine;
+                }
+              in
+              let b = run_setup ctx w base_setup in
+              let r = run_setup ctx w sel_setup in
+              (label, Runner.speedup ~baseline:b r))
+            preds;
+      })
+    ctx.suite
+
+let prefetch_sweep ?(penalties = [ 100; 500 ]) ctx =
+  List.map
+    (fun w ->
+      {
+        sweep_name = w.Workload.name;
+        sweep_points =
+          List.concat_map
+            (fun pen ->
+              List.map
+                (fun (label, pf) ->
+                  let s =
+                    Runner.setup ~n_pfus:(Some 2) ~penalty:pen
+                      Runner.Selective
+                  in
+                  let s = { s with Runner.config_prefetch = pf } in
+                  (Printf.sprintf "%d%s" pen label, speedup_of ctx w s))
+                [ ("cyc", false); ("cyc+pf", true) ])
+            penalties;
+      })
+    ctx.suite

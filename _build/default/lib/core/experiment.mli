@@ -1,0 +1,114 @@
+(** Drivers that regenerate every table and figure of the paper, plus
+    the DESIGN.md ablations.  Results come back as typed rows; use
+    {!Report} to render them in the paper's units (execution-time
+    speedup over the no-PFU superscalar, normalized to 1). *)
+
+open T1000_workloads
+
+(** Per-suite memo of analyses and baseline runs, so a batch of
+    experiments profiles and simulates each workload's baseline once. *)
+type ctx
+
+val create_ctx : ?workloads:Workload.t list -> unit -> ctx
+(** Defaults to the full 8-benchmark suite ({!Registry.all}). *)
+
+val workloads : ctx -> Workload.t list
+val baseline_stats : ctx -> Workload.t -> T1000_ooo.Stats.t
+
+(** {1 Figure 2 — greedy selection} *)
+
+type f2_row = {
+  f2_name : string;
+  f2_greedy_unlimited : float;
+      (** unlimited PFUs, zero reconfiguration cost *)
+  f2_greedy_2pfu : float;  (** 2 PFUs, 10-cycle penalty (thrashing) *)
+}
+
+val figure2 : ctx -> f2_row list
+
+(** {1 Section 4.1 text table — greedy instruction statistics} *)
+
+type t41_row = {
+  t41_name : string;
+  t41_distinct : int;  (** distinct extended instructions (paper: 6-43) *)
+  t41_shortest : int;  (** shortest sequence length (paper: 2) *)
+  t41_longest : int;  (** longest sequence length (paper: up to 8) *)
+  t41_occurrences : int;  (** static occurrence sites *)
+}
+
+val table41 : ctx -> t41_row list
+
+(** {1 Figure 6 — selective selection} *)
+
+type f6_row = {
+  f6_name : string;
+  f6_sel_2 : float;
+  f6_sel_4 : float;
+  f6_sel_unlimited : float;
+}
+
+val figure6 : ctx -> f6_row list
+
+(** {1 Section 5.2 — reconfiguration-penalty sensitivity} *)
+
+type s52_row = {
+  s52_name : string;
+  s52_points : (int * float * float) list;
+      (** (penalty, selective 2-PFU speedup, greedy 2-PFU speedup) *)
+}
+
+val penalty_sweep : ?penalties:int list -> ctx -> s52_row list
+(** Default penalties: 10, 50, 100, 250, 500 (the paper's claim covers
+    up to 500). *)
+
+(** {1 Figure 7 — hardware cost distribution} *)
+
+type f7_result = {
+  f7_costs : (string * int list) list;  (** per-benchmark LUT costs *)
+  f7_histogram : T1000_hwcost.Area.t;
+  f7_max : int;
+}
+
+val figure7 : ctx -> f7_result
+
+(** {1 Ablations (DESIGN.md A1-A5)} *)
+
+type sweep_row = {
+  sweep_name : string;
+  sweep_points : (string * float) list;  (** (setting label, speedup) *)
+}
+
+val pfu_count_sweep : ?counts:int list -> ctx -> sweep_row list
+(** A1: selective speedup vs number of PFUs (default 1,2,3,4,6,8). *)
+
+val width_threshold_sweep : ?widths:int list -> ctx -> sweep_row list
+(** A2: greedy-unlimited speedup vs candidate bitwidth threshold
+    (default 8,12,18,24,32). *)
+
+val gain_threshold_sweep : ?thresholds:float list -> ctx -> sweep_row list
+(** A3: selective 2-PFU speedup vs gain-ratio threshold
+    (default 0.001, 0.005, 0.02). *)
+
+val replacement_sweep : ctx -> sweep_row list
+(** A4: selective 2-PFU speedup under LRU / FIFO / pseudo-random PFU
+    replacement. *)
+
+val machine_sweep : ctx -> sweep_row list
+(** A5: selective 4-PFU speedup on narrower/wider machines
+    (2-wide/RUU 32, 4-wide/RUU 64, 8-wide/RUU 128). *)
+
+val latency_model_sweep : ctx -> sweep_row list
+(** A6: selective 4-PFU speedup under the paper's single-cycle PFU
+    assumption vs the LUT-level delay model
+    ({!T1000_hwcost.Lut.latency_estimate}) — the varying-execution-time
+    extension the paper suggests in Section 3.1. *)
+
+val branch_predictor_sweep : ctx -> sweep_row list
+(** A7: selective 4-PFU speedup under perfect branch prediction (the
+    paper's assumption) vs a 2K-entry bimodal predictor, each against a
+    baseline with the same predictor. *)
+
+val prefetch_sweep : ?penalties:int list -> ctx -> sweep_row list
+(** A8: selective 2-PFU speedup with and without [cfgld] configuration
+    prefetching, at reconfiguration penalties where loop-entry reloads
+    start to matter (default 100 and 500 cycles). *)

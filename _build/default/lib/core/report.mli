@@ -1,0 +1,15 @@
+(** Text rendering of experiment results, in the paper's units
+    (execution-time speedup normalized to the no-PFU superscalar). *)
+
+val pp_figure2 : Format.formatter -> Experiment.f2_row list -> unit
+val pp_table41 : Format.formatter -> Experiment.t41_row list -> unit
+val pp_figure6 : Format.formatter -> Experiment.f6_row list -> unit
+val pp_penalty_sweep : Format.formatter -> Experiment.s52_row list -> unit
+val pp_figure7 : Format.formatter -> Experiment.f7_result -> unit
+
+val pp_sweep :
+  title:string ->
+  Format.formatter ->
+  Experiment.sweep_row list ->
+  unit
+(** Generic (benchmark x setting) speedup table for the ablations. *)

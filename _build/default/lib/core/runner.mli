@@ -1,0 +1,75 @@
+(** Top-level facade: run a workload under a named T1000 configuration.
+
+    Ties the whole system together, mirroring the paper's methodology
+    (Section 3): profile the program to completion, select extended
+    instructions (greedy or selective), rewrite the program, and
+    simulate it on the cycle-level out-of-order core.  Speedups are
+    execution-time ratios against the same machine without PFUs. *)
+
+open T1000_asm
+open T1000_profile
+open T1000_select
+open T1000_ooo
+open T1000_workloads
+
+(** Which instruction-selection algorithm to use. *)
+type method_ =
+  | Baseline  (** plain superscalar, no PFUs *)
+  | Greedy  (** Section 4 *)
+  | Selective  (** Section 5 *)
+
+type setup = {
+  method_ : method_;
+  n_pfus : int option;  (** [None] = unlimited; ignored for [Baseline] *)
+  penalty : int;  (** PFU reconfiguration cycles *)
+  replacement : Mconfig.pfu_replacement;
+  extract : T1000_dfg.Extract.config;
+  gain_threshold : float;  (** selective filter (fraction of total time) *)
+  lut_budget : int;
+  ext_timing : [ `Single_cycle | `Lut_levels ];
+      (** how extended instructions are timed: the paper's single-cycle
+          assumption, or the {!T1000_hwcost.Lut.latency_estimate} delay
+          model (the paper's suggested varying-execution-time
+          extension) *)
+  config_prefetch : bool;
+      (** insert [cfgld] configuration-prefetch hints in the preheader
+          of every loop that uses an extended instruction (our
+          future-work extension; default false) *)
+  machine : Mconfig.t;  (** base machine; PFU fields are overridden from
+                            the fields above *)
+}
+
+val setup : ?n_pfus:int option -> ?penalty:int -> method_ -> setup
+(** Defaults: 2 PFUs, 10-cycle penalty, LRU, paper extraction and
+    selection parameters, the default machine. *)
+
+(** Cached per-workload analysis (one profiling run plus the static
+    analyses), reusable across setups. *)
+type analysis = {
+  profile : Profile.t;
+  cfg : Cfg.t;
+  loops : Loops.t;
+  live : Liveness.t;
+}
+
+val analyze : Workload.t -> analysis
+
+type run = {
+  workload : Workload.t;
+  used : setup;
+  table : Extinstr.t;  (** empty for [Baseline] *)
+  program : Program.t;  (** the program actually simulated *)
+  stats : Stats.t;
+}
+
+val run : ?analysis:analysis -> Workload.t -> setup -> run
+(** Select, rewrite, and simulate.  The functional outputs of the
+    rewritten program are verified against the original's before timing
+    (a safety net for the rewriter); a mismatch raises [Failure]. *)
+
+val speedup : baseline:run -> run -> float
+
+val verify_outputs : Workload.t -> Extinstr.t -> Program.t -> unit
+(** Run original and rewritten programs functionally and compare output
+    regions byte for byte.
+    @raise Failure on a mismatch. *)

@@ -1,0 +1,11 @@
+(** Entry point of the [t1000] library.
+
+    - {!Runner} — run a workload under a named configuration
+      (baseline / greedy / selective x PFU count x penalty);
+    - {!Experiment} — drivers that regenerate every figure and table of
+      the paper, plus the ablations listed in DESIGN.md;
+    - {!Report} — text rendering of experiment results. *)
+
+module Runner = Runner
+module Experiment = Experiment
+module Report = Report

@@ -1,0 +1,1 @@
+lib/dfg/canon.ml: Array Buffer Dfg Op String T1000_isa

@@ -1,0 +1,1 @@
+lib/dfg/canon.mli: Dfg

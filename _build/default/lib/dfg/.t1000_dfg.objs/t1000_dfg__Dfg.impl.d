@@ -1,0 +1,1 @@
+lib/dfg/dfg.ml: Array Buffer Format Op Printf T1000_isa Word

@@ -1,0 +1,1 @@
+lib/dfg/extract.ml: Array Canon Cfg Dfg Hashtbl Instr Int List Liveness Option Profile Program Reg Regset Set T1000_asm T1000_isa T1000_profile Word

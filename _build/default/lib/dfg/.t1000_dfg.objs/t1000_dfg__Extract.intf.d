@@ -1,0 +1,1 @@
+lib/dfg/extract.mli: Cfg Dfg Instr Liveness Profile Reg T1000_asm T1000_isa T1000_profile

@@ -1,0 +1,89 @@
+open T1000_isa
+
+let operand_rank = function
+  | Dfg.Node i -> (0, i)
+  | Dfg.Input p -> (1, p)
+  | Dfg.Const c -> (2, c)
+
+let commutative = function
+  | Dfg.N_alu op -> Op.alu_commutative op
+  | Dfg.N_shift _ -> false
+
+(* Order commutative operands canonically; then renumber inputs by first
+   appearance in node order. *)
+let normalize_with_perm d =
+  let nodes = Dfg.nodes d in
+  let swapped =
+    Array.map
+      (fun nd ->
+        if commutative nd.Dfg.op && operand_rank nd.Dfg.a > operand_rank nd.Dfg.b
+        then { nd with Dfg.a = nd.Dfg.b; b = nd.Dfg.a }
+        else nd)
+      nodes
+  in
+  let n_inputs = Dfg.n_inputs d in
+  let perm = Array.make n_inputs (-1) in
+  let next = ref 0 in
+  let renumber = function
+    | Dfg.Input p ->
+        if perm.(p) < 0 then begin
+          perm.(p) <- !next;
+          incr next
+        end;
+        Dfg.Input perm.(p)
+    | (Dfg.Const _ | Dfg.Node _) as o -> o
+  in
+  let renumbered =
+    Array.map
+      (fun nd -> { nd with Dfg.a = renumber nd.Dfg.a; b = renumber nd.Dfg.b })
+      swapped
+  in
+  (* Unused ports (possible when n_inputs over-counts) keep identity. *)
+  Array.iteri
+    (fun i p ->
+      if p < 0 then begin
+        perm.(i) <- !next;
+        incr next
+      end)
+    perm;
+  (Dfg.make ~n_inputs renumbered, perm)
+
+let normalize d = fst (normalize_with_perm d)
+let input_permutation d = snd (normalize_with_perm d)
+
+let string_of_operand = function
+  | Dfg.Input p -> "i" ^ string_of_int p
+  | Dfg.Const c -> "#" ^ string_of_int c
+  | Dfg.Node i -> "n" ^ string_of_int i
+
+let string_of_op = function
+  | Dfg.N_alu op -> Op.alu_to_string op
+  | Dfg.N_shift op -> Op.shift_to_string op
+
+let key d =
+  let d = normalize d in
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int (Dfg.n_inputs d));
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun nd ->
+      Buffer.add_string buf (string_of_op nd.Dfg.op);
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (string_of_operand nd.Dfg.a);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_operand nd.Dfg.b);
+      Buffer.add_string buf ");")
+    (Dfg.nodes d);
+  Buffer.contents buf
+
+let equal a b = String.equal (key a) (key b)
+
+let merge_widths a b =
+  if not (equal a b) then invalid_arg "Canon.merge_widths: different keys";
+  let na = Dfg.nodes (normalize a) and nb = Dfg.nodes (normalize b) in
+  let merged =
+    Array.mapi
+      (fun i nd -> { nd with Dfg.width = max nd.Dfg.width nb.(i).Dfg.width })
+      na
+  in
+  Dfg.make ~n_inputs:(Dfg.n_inputs a) merged

@@ -1,0 +1,37 @@
+(** Canonicalization of dataflow graphs.
+
+    Two extended-instruction occurrences share a PFU configuration when
+    they perform the same computation ("the latter two sequences perform
+    the same operation, they share an identical PFU configuration",
+    paper Section 5.1).  This module provides the equality used for that
+    sharing: operands of commutative operations are put in a canonical
+    order and input ports are renumbered by first use, then the graph is
+    serialized into a key.  Node order is left as extracted (program
+    order), so the equivalence is structural rather than full graph
+    isomorphism — a sound under-approximation: equal keys always mean
+    equal computations. *)
+
+val normalize : Dfg.t -> Dfg.t
+(** Canonical operand order and input-port numbering.  Evaluation
+    semantics are preserved up to the induced permutation of input
+    ports; callers must permute their input-register lists with
+    {!input_permutation}. *)
+
+val input_permutation : Dfg.t -> int array
+(** [p = input_permutation d] maps old port numbers to the normalized
+    ports: new port [p.(i)] carries what old port [i] carried.  Length
+    equals [Dfg.n_inputs d]. *)
+
+val key : Dfg.t -> string
+(** Serialization of the normalized graph, excluding node widths (two
+    occurrences differing only in profiled width share hardware sized
+    for the wider one). *)
+
+val equal : Dfg.t -> Dfg.t -> bool
+(** [key a = key b]. *)
+
+val merge_widths : Dfg.t -> Dfg.t -> Dfg.t
+(** Pointwise maximum of node widths of two normalized graphs with equal
+    keys; used when occurrences with the same computation were profiled
+    at different widths.
+    @raise Invalid_argument if the keys differ. *)

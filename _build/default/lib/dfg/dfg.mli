@@ -1,0 +1,72 @@
+(** Dataflow graphs of candidate extended instructions.
+
+    A DFG is the computation performed by one extended instruction: a
+    topologically ordered array of binary operation nodes over at most
+    two external register inputs plus compile-time constants (immediates
+    are wired into the PFU configuration, paper Section 2.2).  The last
+    node is the root and produces the instruction's single result.
+
+    The same structure drives four consumers: functional evaluation
+    (interpreter callback), the cycle-gain model, canonical hashing
+    (configuration sharing), and LUT cost estimation. *)
+
+open T1000_isa
+
+type operand =
+  | Input of int  (** external input port, 0 or 1 *)
+  | Const of int  (** constant folded into the configuration *)
+  | Node of int   (** result of an earlier node *)
+
+type node_op =
+  | N_alu of Op.alu
+  | N_shift of Op.shift
+
+type node = {
+  op : node_op;
+  a : operand;
+  b : operand;
+  width : int;
+      (** profiled maximum significant bits flowing through this node;
+          sizes the PFU hardware, does not affect semantics *)
+}
+
+type t
+
+val make : n_inputs:int -> node array -> t
+(** Nodes must be in topological order ([Node i] only refers to earlier
+    indices); the array must be non-empty.
+    @raise Invalid_argument otherwise, or if [n_inputs] is not 0-2, or
+    an [Input] port is out of range. *)
+
+val nodes : t -> node array
+(** Fresh copy. *)
+
+val n_inputs : t -> int
+val size : t -> int
+(** Number of operation nodes (the paper's "sequence length"). *)
+
+val root : t -> int
+(** Index of the root node (always [size - 1]). *)
+
+val eval : t -> Word.t -> Word.t -> Word.t
+(** Evaluate on input port values (port 1 ignored when [n_inputs < 2]).
+    Matches the base ISA's semantics operation for operation. *)
+
+val base_latency : t -> int
+(** Critical-path latency of the computation on the base machine's
+    functional units — the cycles the sequence needs when fully
+    data-dependent.  The per-execution cycle gain of the extended
+    instruction is [base_latency - 1] (the PFU evaluates in one cycle,
+    paper Section 3.1). *)
+
+val serial_latency : t -> int
+(** Sum of all node latencies (equals {!base_latency} for pure chains). *)
+
+val max_width : t -> int
+(** Largest node width. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:string -> t -> string
+(** Graphviz rendering of the dataflow graph: operation nodes, input
+    ports and constants, with the root highlighted. *)

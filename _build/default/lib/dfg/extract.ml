@@ -1,0 +1,418 @@
+open T1000_isa
+open T1000_asm
+open T1000_profile
+
+type config = {
+  width_threshold : int;
+  max_len : int;
+  min_len : int;
+}
+
+let default_config = { width_threshold = 18; max_len = 8; min_len = 2 }
+
+type occ = {
+  block : int;
+  members : int list;
+  root : int;
+  internal_edges : (int * int) list;
+  dfg : Dfg.t;
+  input_regs : Reg.t array;
+  out_reg : Reg.t;
+  key : string;
+}
+
+module Int_set = Set.Make (Int)
+
+let dest = function
+  | Instr.Alu_rrr (_, rd, _, _)
+  | Instr.Alu_rri (_, rd, _, _)
+  | Instr.Shift_imm (_, rd, _, _)
+  | Instr.Shift_reg (_, rd, _, _) ->
+      Some rd
+  | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _ | Instr.Mflo _ | Instr.Load _
+  | Instr.Store _ | Instr.Branch _ | Instr.Jump _ | Instr.Jal _ | Instr.Jr _
+  | Instr.Jalr _ | Instr.Ext _ | Instr.Cfgld _ | Instr.Nop | Instr.Halt ->
+      None
+
+let candidate cfg profile slot instr =
+  Profile.count profile slot > 0
+  && Profile.operand_width profile slot <= cfg.width_threshold
+  &&
+  match dest instr with
+  | Some rd -> not (Reg.equal rd Reg.zero)
+  | None -> false
+
+(* Reaching-definition view of one basic block: for every slot, the list
+   of (register, defining slot) pairs for its register uses, where -1
+   means the value is live-in to the block. *)
+let block_use_defs g b =
+  let program = Cfg.program g in
+  let blk = Cfg.block g b in
+  let last_def = Array.make Instr.dep_reg_count (-1) in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun slot ->
+      let instr = Program.get program slot in
+      let uses = List.map (fun r -> (r, last_def.(r))) (Instr.uses instr) in
+      Hashtbl.replace tbl slot uses;
+      List.iter (fun d -> last_def.(d) <- slot) (Instr.defs instr))
+    (Cfg.instr_indices blk);
+  tbl
+
+(* All block slots that consume the value defined by [producer]. *)
+let consumers_of use_defs blk producer =
+  List.filter
+    (fun u ->
+      List.exists
+        (fun (_, d) -> d = producer)
+        (match Hashtbl.find_opt use_defs u with Some l -> l | None -> []))
+    (Cfg.instr_indices blk)
+
+let check cfg g live profile members =
+  match List.sort_uniq compare members with
+  | [] -> None
+  | sorted -> (
+      let program = Cfg.program g in
+      let b = Cfg.block_of_instr g (List.hd sorted) in
+      let root = List.fold_left max (List.hd sorted) sorted in
+      let n_members = List.length sorted in
+      let member_set = Int_set.of_list sorted in
+      let is_member s = Int_set.mem s member_set in
+      let ok =
+        n_members >= cfg.min_len
+        && n_members <= cfg.max_len
+        && List.for_all
+             (fun s ->
+               Cfg.block_of_instr g s = b
+               && candidate cfg profile s (Program.get program s))
+             sorted
+      in
+      if not ok then None
+      else begin
+        let blk = Cfg.block g b in
+        let use_defs = block_use_defs g b in
+        let out_reg =
+          match dest (Program.get program root) with
+          | Some r -> r
+          | None -> assert false
+        in
+        let exception Reject in
+        try
+          (* 1. Intermediates: every consumer of an intermediate value is
+             itself a member, and the value is dead after the root. *)
+          let live_after_root = Liveness.live_after_instr live root in
+          List.iter
+            (fun p ->
+              if p <> root then begin
+                let d =
+                  match dest (Program.get program p) with
+                  | Some r -> Reg.to_int r
+                  | None -> assert false
+                in
+                let cons = consumers_of use_defs blk p in
+                if cons = [] then raise Reject;
+                if not (List.for_all is_member cons) then raise Reject;
+                if
+                  d <> Reg.to_int out_reg
+                  && Regset.mem d live_after_root
+                then raise Reject
+              end)
+            sorted;
+          (* 2. Classify member operands; collect external ports. *)
+          let ports = ref [] in
+          (* (reg_int, port) assoc, in first-use order *)
+          let port_of r =
+            let ri = Reg.to_int r in
+            match List.assoc_opt ri !ports with
+            | Some p -> p
+            | None ->
+                let p = List.length !ports in
+                if p >= 2 then raise Reject;
+                ports := !ports @ [ (ri, p) ];
+                p
+          in
+          let node_idx = Hashtbl.create 8 in
+          List.iteri (fun i s -> Hashtbl.replace node_idx s i) sorted;
+          let internal_edges = ref [] in
+          let def_of_use m r =
+            match Hashtbl.find_opt use_defs m with
+            | None -> -1
+            | Some l -> (
+                match List.assoc_opt (Reg.to_int r) l with
+                | Some d -> d
+                | None -> -1)
+          in
+          (* External-input clobber check: no non-member definition of the
+             input register between the use and the root. *)
+          let check_clobber r m =
+            let ri = Reg.to_int r in
+            List.iter
+              (fun s ->
+                if
+                  s > m && s <= root
+                  && (not (is_member s))
+                  && List.mem ri (Instr.defs (Program.get program s))
+                then raise Reject)
+              (Cfg.instr_indices blk)
+          in
+          let operand_of m r =
+            if Reg.equal r Reg.zero then Dfg.Const 0
+            else begin
+              let d = def_of_use m r in
+              if d >= 0 && is_member d then begin
+                internal_edges := (d, m) :: !internal_edges;
+                Dfg.Node (Hashtbl.find node_idx d)
+              end
+              else begin
+                check_clobber r m;
+                Dfg.Input (port_of r)
+              end
+            end
+          in
+          let nodes =
+            List.map
+              (fun m ->
+                let width = Profile.instr_width profile m in
+                match Program.get program m with
+                | Instr.Alu_rrr (op, _, rs, rt) ->
+                    let a = operand_of m rs in
+                    let bo = operand_of m rt in
+                    { Dfg.op = Dfg.N_alu op; a; b = bo; width }
+                | Instr.Alu_rri (op, _, rs, imm) ->
+                    let a = operand_of m rs in
+                    {
+                      Dfg.op = Dfg.N_alu op;
+                      a;
+                      b = Dfg.Const (Word.sext32 imm);
+                      width;
+                    }
+                | Instr.Shift_imm (op, _, rt, sh) ->
+                    let a = operand_of m rt in
+                    { Dfg.op = Dfg.N_shift op; a; b = Dfg.Const sh; width }
+                | Instr.Shift_reg (op, _, rt, rs) ->
+                    let a = operand_of m rt in
+                    let bo = operand_of m rs in
+                    { Dfg.op = Dfg.N_shift op; a; b = bo; width }
+                | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _ | Instr.Mflo _
+                | Instr.Load _ | Instr.Store _ | Instr.Branch _
+                | Instr.Jump _ | Instr.Jal _ | Instr.Jr _ | Instr.Jalr _
+                | Instr.Ext _ | Instr.Cfgld _ | Instr.Nop | Instr.Halt ->
+                    raise Reject)
+              sorted
+          in
+          (* 3. Connectivity: every non-root member must feed some member. *)
+          let edge_count = List.length !internal_edges in
+          if edge_count < n_members - 1 then raise Reject;
+          let n_inputs = List.length !ports in
+          let raw_dfg = Dfg.make ~n_inputs (Array.of_list nodes) in
+          let norm = Canon.normalize raw_dfg in
+          let perm = Canon.input_permutation raw_dfg in
+          let input_regs = Array.make n_inputs Reg.zero in
+          List.iter
+            (fun (ri, p) -> input_regs.(perm.(p)) <- Reg.of_int ri)
+            !ports;
+          Some
+            {
+              block = b;
+              members = sorted;
+              root;
+              internal_edges = List.sort_uniq compare !internal_edges;
+              dfg = norm;
+              input_regs;
+              out_reg;
+              key = Canon.key raw_dfg;
+            }
+        with Reject -> None
+      end)
+
+(* Enumerate candidate member subsets for a root within its closure and
+   return the best valid occurrence (largest, then longest base
+   latency). *)
+let best_occ_for_root cfg g live profile ~root ~closure ~consumers =
+  let below = List.filter (fun s -> s <> root) closure in
+  (* Descending slot order so consumers are decided before producers. *)
+  let below = List.sort (fun a b -> compare b a) below in
+  let best = ref None in
+  let consider members =
+    match check cfg g live profile members with
+    | None -> ()
+    | Some o ->
+        let rank = (List.length o.members, Dfg.base_latency o.dfg) in
+        let better =
+          match !best with
+          | None -> true
+          | Some (r, _) -> rank > r
+        in
+        if better then best := Some (rank, o)
+  in
+  let rec go remaining chosen =
+    match remaining with
+    | [] -> consider (root :: chosen)
+    | p :: rest ->
+        (* Include p only if all of its consumers are already chosen (or
+           are the root): otherwise deleting p breaks a remaining use. *)
+        let cons = consumers p in
+        let can_include =
+          cons <> []
+          && List.for_all (fun c -> c = root || List.mem c chosen) cons
+        in
+        go rest chosen;
+        if can_include then go rest (p :: chosen)
+  in
+  go below [];
+  Option.map snd !best
+
+let closure_cap = 12
+
+let maximal cfg g live profile =
+  let program = Cfg.program g in
+  let occs = ref [] in
+  for b = 0 to Cfg.n_blocks g - 1 do
+    let blk = Cfg.block g b in
+    let slots = Cfg.instr_indices blk in
+    let cands =
+      List.filter (fun s -> candidate cfg profile s (Program.get program s))
+        slots
+    in
+    if List.length cands >= cfg.min_len then begin
+      let use_defs = block_use_defs g b in
+      let cand_set = Int_set.of_list cands in
+      let consumers p = consumers_of use_defs blk p in
+      (* Partition candidates into root-closures. *)
+      let covered = ref Int_set.empty in
+      let roots = ref [] in
+      (* Descending order: consumers (higher slots) are rooted first. *)
+      let desc = List.sort (fun a b -> compare b a) cands in
+      let absorbable p =
+        let cons = consumers p in
+        cons <> []
+        && List.for_all
+             (fun c -> Int_set.mem c cand_set && not (Int_set.mem c !covered))
+             cons
+      in
+      let grow root =
+        let closure = ref (Int_set.singleton root) in
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          List.iter
+            (fun p ->
+              if
+                (not (Int_set.mem p !closure))
+                && (not (Int_set.mem p !covered))
+                && consumers p <> []
+                && List.for_all (fun c -> Int_set.mem c !closure) (consumers p)
+              then begin
+                closure := Int_set.add p !closure;
+                changed := true
+              end)
+            cands
+        done;
+        !closure
+      in
+      let rec pass todo =
+        match todo with
+        | [] -> ()
+        | p :: rest ->
+            if (not (Int_set.mem p !covered)) && not (absorbable p) then begin
+              let closure = grow p in
+              covered := Int_set.union !covered closure;
+              roots := (p, closure) :: !roots
+            end;
+            pass rest
+      in
+      (* Repeat passes until every candidate is covered (candidates whose
+         consumers straddle two closures become their own roots). *)
+      let rec fix () =
+        pass desc;
+        let uncovered =
+          List.filter (fun p -> not (Int_set.mem p !covered)) desc
+        in
+        match uncovered with
+        | [] -> ()
+        | p :: _ ->
+            let closure = grow p in
+            covered := Int_set.union !covered closure;
+            roots := (p, closure) :: !roots;
+            fix ()
+      in
+      fix ();
+      List.iter
+        (fun (root, closure) ->
+          (* Cap very large closures: keep the members closest to the
+             root (breadth-first by consumer distance). *)
+          let closure = Int_set.elements closure in
+          let closure =
+            if List.length closure <= closure_cap then closure
+            else begin
+              let dist = Hashtbl.create 16 in
+              Hashtbl.replace dist root 0;
+              let changed = ref true in
+              while !changed do
+                changed := false;
+                List.iter
+                  (fun p ->
+                    if not (Hashtbl.mem dist p) then
+                      let ds =
+                        List.filter_map (Hashtbl.find_opt dist) (consumers p)
+                      in
+                      match ds with
+                      | [] -> ()
+                      | d :: rest ->
+                          Hashtbl.replace dist p
+                            (1 + List.fold_left min d rest);
+                          changed := true)
+                  closure
+              done;
+              let with_d =
+                List.map
+                  (fun p ->
+                    ( (match Hashtbl.find_opt dist p with
+                      | Some d -> d
+                      | None -> max_int),
+                      p ))
+                  closure
+              in
+              let sorted = List.sort compare with_d in
+              List.filteri (fun i _ -> i < closure_cap) sorted
+              |> List.map snd
+            end
+          in
+          match
+            best_occ_for_root cfg g live profile ~root ~closure ~consumers
+          with
+          | Some o -> occs := o :: !occs
+          | None -> ())
+        !roots
+    end
+  done;
+  List.sort (fun a b -> compare a.root b.root) !occs
+
+let subsequences cfg g live profile (o : occ) =
+  (* Producer adjacency inside the occurrence. *)
+  let producers_of v =
+    List.filter_map
+      (fun (p, c) -> if c = v then Some p else None)
+      o.internal_edges
+  in
+  let results = Hashtbl.create 16 in
+  let consider members =
+    let sorted = List.sort_uniq compare members in
+    if not (Hashtbl.mem results sorted) then
+      match check cfg g live profile sorted with
+      | Some sub -> Hashtbl.replace results sorted sub
+      | None -> ()
+  in
+  (* For each member as sub-root, enumerate connected producer subsets. *)
+  let rec expand frontier chosen =
+    match frontier with
+    | [] -> consider chosen
+    | p :: rest ->
+        (* exclude p's subtree *)
+        expand rest chosen;
+        (* include p: its producers join the frontier *)
+        expand (producers_of p @ rest) (p :: chosen)
+  in
+  List.iter (fun v -> expand (producers_of v) [ v ]) o.members;
+  Hashtbl.fold (fun _ sub acc -> sub :: acc) results []
+  |> List.sort (fun a b -> compare (a.root, a.members) (b.root, b.members))

@@ -1,0 +1,64 @@
+(** Candidate-sequence extraction.
+
+    Finds, inside each basic block, the data-dependent sequences of
+    profiled narrow-width ALU/shift instructions that can be collapsed
+    into extended instructions, under the paper's constraints
+    (Section 4): at most two input registers, one output register, and
+    maximal length.  It also enumerates the valid subsequences of a
+    maximal sequence, which the selective algorithm's containment matrix
+    ranks (Section 5.1).
+
+    Safety: a sequence is only reported when collapsing it at its root
+    slot is semantics-preserving — every intermediate result is consumed
+    solely inside the sequence and is dead after the root (liveness-
+    checked), and no external input register is clobbered between its
+    use and the root. *)
+
+open T1000_isa
+open T1000_asm
+open T1000_profile
+
+type config = {
+  width_threshold : int;
+      (** max profiled operand/result width of member instructions;
+          paper default 18 *)
+  max_len : int;  (** longest sequence considered; paper reports 2-8 *)
+  min_len : int;  (** shortest useful sequence (2) *)
+}
+
+val default_config : config
+(** [{ width_threshold = 18; max_len = 8; min_len = 2 }] *)
+
+(** One occurrence of a collapsible sequence. *)
+type occ = {
+  block : int;  (** basic-block id *)
+  members : int list;  (** member instruction slots, ascending *)
+  root : int;  (** last member slot — the rewrite anchor *)
+  internal_edges : (int * int) list;
+      (** (producer slot, consumer slot) value edges inside the
+          sequence *)
+  dfg : Dfg.t;  (** normalized dataflow graph *)
+  input_regs : Reg.t array;  (** register per normalized input port *)
+  out_reg : Reg.t;
+  key : string;  (** canonical configuration key ({!Canon.key}) *)
+}
+
+val candidate : config -> Profile.t -> int -> Instr.t -> bool
+(** Is the instruction at this slot a candidate sequence member?  True
+    for executed ALU/shift instructions within the width threshold whose
+    destination is not r0. *)
+
+val check : config -> Cfg.t -> Liveness.t -> Profile.t -> int list -> occ option
+(** Validate an arbitrary member-slot set (same block) and build its
+    occurrence; [None] if any constraint fails. *)
+
+val maximal : config -> Cfg.t -> Liveness.t -> Profile.t -> occ list
+(** All maximal occurrences in the program, in ascending root order.
+    Maximality: growing any reported occurrence by another candidate
+    would violate a constraint (ports, length, or safety). *)
+
+val subsequences :
+  config -> Cfg.t -> Liveness.t -> Profile.t -> occ -> occ list
+(** All valid connected rooted sub-sequences of a maximal occurrence
+    with at least [min_len] members, the occurrence itself included.
+    Used to populate the selective algorithm's containment matrix. *)

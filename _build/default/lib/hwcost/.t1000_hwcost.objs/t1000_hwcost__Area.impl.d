@@ -1,0 +1,1 @@
+lib/hwcost/area.ml: Array Format List String

@@ -1,0 +1,1 @@
+lib/hwcost/area.mli: Format

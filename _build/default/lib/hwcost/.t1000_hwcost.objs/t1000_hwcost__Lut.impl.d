@@ -1,0 +1,1 @@
+lib/hwcost/lut.ml: Array Dfg Hashtbl Op Option T1000_dfg T1000_isa

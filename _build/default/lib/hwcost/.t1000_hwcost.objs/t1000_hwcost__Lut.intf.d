@@ -1,0 +1,1 @@
+lib/hwcost/lut.mli: T1000_dfg

@@ -1,0 +1,28 @@
+type t = {
+  bin_width : int;
+  bins : int array;
+  max_cost : int;
+  total : int;
+}
+
+let histogram ?(bin_width = 15) costs =
+  if bin_width <= 0 then invalid_arg "Area.histogram: bin_width <= 0";
+  List.iter
+    (fun c -> if c < 0 then invalid_arg "Area.histogram: negative cost")
+    costs;
+  let max_cost = List.fold_left max 0 costs in
+  let n_bins = max 10 ((max_cost / bin_width) + 1) in
+  let bins = Array.make n_bins 0 in
+  List.iter (fun c -> bins.(c / bin_width) <- bins.(c / bin_width) + 1) costs;
+  { bin_width; bins; max_cost; total = List.length costs }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>LUT-cost distribution (%d extended instructions, max %d LUTs)@,"
+    t.total t.max_cost;
+  Array.iteri
+    (fun i n ->
+      let lo = i * t.bin_width and hi = ((i + 1) * t.bin_width) - 1 in
+      Format.fprintf ppf "%3d-%3d LUTs | %-3d %s@," lo hi n (String.make n '#'))
+    t.bins;
+  Format.fprintf ppf "@]"

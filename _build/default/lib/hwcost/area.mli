@@ -1,0 +1,22 @@
+(** Area-distribution reporting (Figure 7).
+
+    The paper presents the hardware requirements of the selected
+    extended instructions as a histogram of LUT counts; this module
+    builds and renders that histogram. *)
+
+type t = {
+  bin_width : int;
+  bins : int array;  (** [bins.(i)] counts costs in
+                         [[i*bin_width, (i+1)*bin_width)] *)
+  max_cost : int;
+  total : int;
+}
+
+val histogram : ?bin_width:int -> int list -> t
+(** Histogram of LUT costs (default bin width 15, covering the paper's
+    0-150 LUT range in ten bins).  Costs beyond the last bin extend the
+    histogram.
+    @raise Invalid_argument on a negative cost or non-positive width. *)
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering, one bin per line with a bar. *)

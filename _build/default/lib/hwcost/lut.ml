@@ -1,0 +1,153 @@
+open T1000_isa
+open T1000_dfg
+
+let default_budget = 150
+
+let clamp_width w = if w < 1 then 1 else if w > 32 then 32 else w
+
+let is_logic = function
+  | Dfg.N_alu (Op.And | Op.Or | Op.Xor | Op.Nor) -> true
+  | Dfg.N_alu
+      (Op.Add | Op.Addu | Op.Sub | Op.Subu | Op.Slt | Op.Sltu)
+  | Dfg.N_shift _ ->
+      false
+
+let ceil_log2 n =
+  let rec go p acc = if p >= n then acc else go (p * 2) (acc + 1) in
+  if n <= 1 then 0 else go 1 0
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Union-find over node indices, for grouping chained logic nodes. *)
+let find parent i =
+  let rec go i = if parent.(i) = i then i else go parent.(i) in
+  go i
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(max ra rb) <- min ra rb
+
+let node_costs d =
+  let nodes = Dfg.nodes d in
+  let n = Array.length nodes in
+  let costs = Array.make n 0 in
+  let parent = Array.init n (fun i -> i) in
+  (* Group adjacent logic nodes: an edge between two logic nodes lets a
+     4-LUT absorb both levels. *)
+  Array.iteri
+    (fun i nd ->
+      if is_logic nd.Dfg.op then begin
+        let link = function
+          | Dfg.Node j when is_logic nodes.(j).Dfg.op -> union parent i j
+          | Dfg.Node _ | Dfg.Input _ | Dfg.Const _ -> ()
+        in
+        link nd.Dfg.a;
+        link nd.Dfg.b
+      end)
+    nodes;
+  (* Logic groups: k chained 2-input ops cost ceil(k/3) LUTs per bit at
+     the group's widest width; charge the group's highest-index node. *)
+  let group_size = Hashtbl.create 8 and group_width = Hashtbl.create 8 in
+  let group_last = Hashtbl.create 8 in
+  Array.iteri
+    (fun i nd ->
+      if is_logic nd.Dfg.op then begin
+        let r = find parent i in
+        let sz = Option.value ~default:0 (Hashtbl.find_opt group_size r) in
+        let w = Option.value ~default:1 (Hashtbl.find_opt group_width r) in
+        Hashtbl.replace group_size r (sz + 1);
+        Hashtbl.replace group_width r (max w (clamp_width nd.Dfg.width));
+        Hashtbl.replace group_last r i
+      end)
+    nodes;
+  Hashtbl.iter
+    (fun r k ->
+      let w = Hashtbl.find group_width r in
+      let last = Hashtbl.find group_last r in
+      costs.(last) <- ceil_div k 3 * w)
+    group_size;
+  (* Non-logic nodes. *)
+  Array.iteri
+    (fun i nd ->
+      let w = clamp_width nd.Dfg.width in
+      match nd.Dfg.op with
+      | Dfg.N_alu (Op.Add | Op.Addu | Op.Sub | Op.Subu) -> costs.(i) <- w
+      | Dfg.N_alu (Op.Slt | Op.Sltu) -> costs.(i) <- w + 1
+      | Dfg.N_alu (Op.And | Op.Or | Op.Xor | Op.Nor) -> () (* grouped *)
+      | Dfg.N_shift _ -> (
+          match nd.Dfg.b with
+          | Dfg.Const _ -> () (* wiring *)
+          | Dfg.Input _ | Dfg.Node _ -> costs.(i) <- w * ceil_log2 w))
+    nodes;
+  costs
+
+let cost d = Array.fold_left ( + ) 0 (node_costs d)
+let fits ?(budget = default_budget) d = cost d <= budget
+
+(* Critical path in 4-LUT levels.  Chained logic nodes share levels the
+   same way they share LUTs: a group of k 2-input ops is ceil(k/3)
+   levels deep along any path through it; we approximate by charging
+   the group's depth to its last node and zero to earlier members,
+   which is exact for chains (the common case) and conservative-low
+   for bushy groups. *)
+let node_levels d =
+  let nodes = Dfg.nodes d in
+  let n = Array.length nodes in
+  let parent = Array.init n (fun i -> i) in
+  Array.iteri
+    (fun i nd ->
+      if is_logic nd.Dfg.op then begin
+        let link = function
+          | Dfg.Node j when is_logic nodes.(j).Dfg.op -> union parent i j
+          | Dfg.Node _ | Dfg.Input _ | Dfg.Const _ -> ()
+        in
+        link nd.Dfg.a;
+        link nd.Dfg.b
+      end)
+    nodes;
+  let group_size = Hashtbl.create 8 and group_last = Hashtbl.create 8 in
+  Array.iteri
+    (fun i nd ->
+      if is_logic nd.Dfg.op then begin
+        let r = find parent i in
+        Hashtbl.replace group_size r
+          (1 + Option.value ~default:0 (Hashtbl.find_opt group_size r));
+        Hashtbl.replace group_last r i
+      end)
+    nodes;
+  Array.mapi
+    (fun i nd ->
+      match nd.Dfg.op with
+      | Dfg.N_alu (Op.And | Op.Or | Op.Xor | Op.Nor) ->
+          let r = find parent i in
+          if Hashtbl.find group_last r = i then
+            ceil_div (Hashtbl.find group_size r) 3
+          else 0
+      | Dfg.N_alu (Op.Add | Op.Addu | Op.Sub | Op.Subu) -> 2
+      | Dfg.N_alu (Op.Slt | Op.Sltu) -> 2
+      | Dfg.N_shift _ -> (
+          match nd.Dfg.b with
+          | Dfg.Const _ -> 0
+          | Dfg.Input _ | Dfg.Node _ ->
+              ceil_log2 (clamp_width nd.Dfg.width)))
+    nodes
+
+let levels d =
+  let nodes = Dfg.nodes d in
+  let per_node = node_levels d in
+  let depth = Array.make (Array.length nodes) 0 in
+  let operand_depth = function
+    | Dfg.Input _ | Dfg.Const _ -> 0
+    | Dfg.Node i -> depth.(i)
+  in
+  Array.iteri
+    (fun i nd ->
+      depth.(i) <-
+        per_node.(i) + max (operand_depth nd.Dfg.a) (operand_depth nd.Dfg.b))
+    nodes;
+  depth.(Array.length nodes - 1)
+
+let default_levels_per_cycle = 4
+
+let latency_estimate ?(levels_per_cycle = default_levels_per_cycle) d =
+  max 1 (ceil_div (levels d) levels_per_cycle)

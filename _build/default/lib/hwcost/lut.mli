@@ -1,0 +1,47 @@
+(** Analytic LUT-cost model for extended instructions.
+
+    Substitutes for the paper's Xilinx Foundation synthesis flow
+    (Section 6): maps a dataflow graph at its profiled bitwidths onto
+    XC4000-class 4-input LUTs using standard per-operator formulas:
+
+    - add/sub: 1 LUT per bit (dedicated carry logic);
+    - 2-input bitwise logic: maximal logic-only subtrees are packed, one
+      4-LUT absorbing up to three chained 2-input operations per bit;
+    - set-less-than: a subtract chain plus sign selection, [w + 1] LUTs;
+    - shift by a compile-time constant: free (wiring);
+    - shift by a data operand: a barrel shifter,
+      [w * ceil(log2 w)] LUTs.
+
+    Widths are the per-node profiled maxima, clamped to [1, 32]. *)
+
+val node_costs : T1000_dfg.Dfg.t -> int array
+(** LUTs attributed to each node (packed logic groups are charged to the
+    group's last node; earlier members cost 0). *)
+
+val cost : T1000_dfg.Dfg.t -> int
+(** Total LUTs for the extended instruction. *)
+
+val fits : ?budget:int -> T1000_dfg.Dfg.t -> bool
+(** Whether the instruction fits a PFU (default budget 150 LUTs, the
+    paper's sizing). *)
+
+val default_budget : int
+
+(** {1 Delay model}
+
+    The paper assumes every extended instruction evaluates in a single
+    cycle and notes that "this could easily be altered to allow for
+    varying execution times" (Section 3.1).  This model provides that
+    extension: the critical path through the mapped logic, measured in
+    4-LUT levels, converted to pipeline cycles. *)
+
+val levels : T1000_dfg.Dfg.t -> int
+(** LUT levels on the critical path: packed logic groups count
+    [ceil(k/3)] levels, add/sub/slt 2 (carry chain), constant shifts 0,
+    barrel shifters [ceil(log2 w)]. *)
+
+val default_levels_per_cycle : int
+(** How many LUT levels fit in one processor cycle (4). *)
+
+val latency_estimate : ?levels_per_cycle:int -> T1000_dfg.Dfg.t -> int
+(** Execution latency in cycles, at least 1. *)

@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Format Instr Op Reg Word

@@ -1,0 +1,276 @@
+exception Unencodable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unencodable s)) fmt
+
+let text_base = 0x0040_0000
+let bytes_per_slot = 8
+let address_of_index i = text_base + (i * bytes_per_slot)
+
+let index_of_address a =
+  if a < text_base || (a - text_base) mod bytes_per_slot <> 0 then
+    fail "not a text address: 0x%x" a
+  else (a - text_base) / bytes_per_slot
+
+(* Major opcodes. *)
+let op_special = 0x00
+let op_j = 0x02
+let op_jal = 0x03
+let op_beq = 0x04
+let op_bne = 0x05
+let op_blez = 0x06
+let op_bgtz = 0x07
+let op_addi = 0x08
+let op_addiu = 0x09
+let op_slti = 0x0A
+let op_sltiu = 0x0B
+let op_andi = 0x0C
+let op_ori = 0x0D
+let op_xori = 0x0E
+let op_lui = 0x0F
+let op_regimm = 0x01 (* bltz / bgez via rt field *)
+let op_lb = 0x20
+let op_lh = 0x21
+let op_lw = 0x23
+let op_lbu = 0x24
+let op_lhu = 0x25
+let op_sb = 0x28
+let op_sh = 0x29
+let op_sw = 0x2B
+let op_ext = 0x3E
+let op_cfgld = 0x3C
+let op_halt = 0x3F
+
+(* SPECIAL functct codes. *)
+let f_sll = 0x00
+let f_srl = 0x02
+let f_sra = 0x03
+let f_sllv = 0x04
+let f_srlv = 0x06
+let f_srav = 0x07
+let f_jr = 0x08
+let f_jalr = 0x09
+let f_mfhi = 0x10
+let f_mflo = 0x12
+let f_mult = 0x18
+let f_multu = 0x19
+let f_div = 0x1A
+let f_divu = 0x1B
+let f_add = 0x20
+let f_addu = 0x21
+let f_sub = 0x22
+let f_subu = 0x23
+let f_and = 0x24
+let f_or = 0x25
+let f_xor = 0x26
+let f_nor = 0x27
+let f_slt = 0x2A
+let f_sltu = 0x2B
+
+let alu_funct : Op.alu -> int = function
+  | Op.Add -> f_add
+  | Op.Addu -> f_addu
+  | Op.Sub -> f_sub
+  | Op.Subu -> f_subu
+  | Op.And -> f_and
+  | Op.Or -> f_or
+  | Op.Xor -> f_xor
+  | Op.Nor -> f_nor
+  | Op.Slt -> f_slt
+  | Op.Sltu -> f_sltu
+
+let alu_of_funct f =
+  if f = f_add then Some Op.Add
+  else if f = f_addu then Some Op.Addu
+  else if f = f_sub then Some Op.Sub
+  else if f = f_subu then Some Op.Subu
+  else if f = f_and then Some Op.And
+  else if f = f_or then Some Op.Or
+  else if f = f_xor then Some Op.Xor
+  else if f = f_nor then Some Op.Nor
+  else if f = f_slt then Some Op.Slt
+  else if f = f_sltu then Some Op.Sltu
+  else None
+
+let alu_imm_opcode : Op.alu -> int = function
+  | Op.Add -> op_addi
+  | Op.Addu -> op_addiu
+  | Op.Slt -> op_slti
+  | Op.Sltu -> op_sltiu
+  | Op.And -> op_andi
+  | Op.Or -> op_ori
+  | Op.Xor -> op_xori
+  | (Op.Sub | Op.Subu | Op.Nor) as op ->
+      fail "no immediate form for %s" (Op.alu_to_string op)
+
+let r = Reg.to_int
+let reg = Reg.of_int
+
+let check_shamt sh =
+  if sh < 0 || sh > 31 then fail "shift amount out of range: %d" sh
+
+let imm16_signed v =
+  if v < -32768 || v > 32767 then fail "signed imm16 out of range: %d" v
+  else v land 0xFFFF
+
+let imm16_unsigned v =
+  if v < 0 || v > 0xFFFF then fail "unsigned imm16 out of range: %d" v
+  else v
+
+let logical_imm : Op.alu -> bool = function
+  | Op.And | Op.Or | Op.Xor -> true
+  | Op.Add | Op.Addu | Op.Sub | Op.Subu | Op.Nor | Op.Slt | Op.Sltu -> false
+
+let rtype ~rs ~rt ~rd ~shamt ~funct =
+  (op_special lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (rd lsl 11)
+  lor (shamt lsl 6) lor funct
+
+let itype ~op ~rs ~rt ~imm =
+  (op lsl 26) lor (rs lsl 21) lor (rt lsl 16) lor (imm land 0xFFFF)
+
+let branch_disp ~index tgt =
+  let d = tgt - (index + 1) in
+  if d < -32768 || d > 32767 then fail "branch displacement out of range"
+  else d land 0xFFFF
+
+let jump_target tgt =
+  if tgt < 0 || tgt >= 1 lsl 26 then fail "jump target out of range"
+  else tgt
+
+let encode ~index (i : Instr.t) =
+  match i with
+  | Instr.Alu_rrr (op, rd, rs, rt) ->
+      rtype ~rs:(r rs) ~rt:(r rt) ~rd:(r rd) ~shamt:0 ~funct:(alu_funct op)
+  | Instr.Alu_rri (op, rt, rs, imm) ->
+      let imm =
+        if logical_imm op then imm16_unsigned imm else imm16_signed imm
+      in
+      itype ~op:(alu_imm_opcode op) ~rs:(r rs) ~rt:(r rt) ~imm
+  | Instr.Shift_imm (op, rd, rt, sh) ->
+      check_shamt sh;
+      let funct =
+        match op with Op.Sll -> f_sll | Op.Srl -> f_srl | Op.Sra -> f_sra
+      in
+      rtype ~rs:0 ~rt:(r rt) ~rd:(r rd) ~shamt:sh ~funct
+  | Instr.Shift_reg (op, rd, rt, rs) ->
+      let funct =
+        match op with
+        | Op.Sll -> f_sllv
+        | Op.Srl -> f_srlv
+        | Op.Sra -> f_srav
+      in
+      rtype ~rs:(r rs) ~rt:(r rt) ~rd:(r rd) ~shamt:0 ~funct
+  | Instr.Lui (rt, imm) ->
+      itype ~op:op_lui ~rs:0 ~rt:(r rt) ~imm:(imm16_unsigned imm)
+  | Instr.Muldiv (op, rs, rt) ->
+      let funct =
+        match op with
+        | Op.Mult -> f_mult
+        | Op.Multu -> f_multu
+        | Op.Div -> f_div
+        | Op.Divu -> f_divu
+      in
+      rtype ~rs:(r rs) ~rt:(r rt) ~rd:0 ~shamt:0 ~funct
+  | Instr.Mfhi rd -> rtype ~rs:0 ~rt:0 ~rd:(r rd) ~shamt:0 ~funct:f_mfhi
+  | Instr.Mflo rd -> rtype ~rs:0 ~rt:0 ~rd:(r rd) ~shamt:0 ~funct:f_mflo
+  | Instr.Load (w, rt, rs, off) ->
+      let op =
+        match w with
+        | Op.LB -> op_lb
+        | Op.LBU -> op_lbu
+        | Op.LH -> op_lh
+        | Op.LHU -> op_lhu
+        | Op.LW -> op_lw
+      in
+      itype ~op ~rs:(r rs) ~rt:(r rt) ~imm:(imm16_signed off)
+  | Instr.Store (w, rt, rs, off) ->
+      let op =
+        match w with Op.SB -> op_sb | Op.SH -> op_sh | Op.SW -> op_sw
+      in
+      itype ~op ~rs:(r rs) ~rt:(r rt) ~imm:(imm16_signed off)
+  | Instr.Branch (c, rs, rt, tgt) -> (
+      let disp = branch_disp ~index tgt in
+      match c with
+      | Op.Beq -> itype ~op:op_beq ~rs:(r rs) ~rt:(r rt) ~imm:disp
+      | Op.Bne -> itype ~op:op_bne ~rs:(r rs) ~rt:(r rt) ~imm:disp
+      | Op.Blez -> itype ~op:op_blez ~rs:(r rs) ~rt:0 ~imm:disp
+      | Op.Bgtz -> itype ~op:op_bgtz ~rs:(r rs) ~rt:0 ~imm:disp
+      | Op.Bltz -> itype ~op:op_regimm ~rs:(r rs) ~rt:0 ~imm:disp
+      | Op.Bgez -> itype ~op:op_regimm ~rs:(r rs) ~rt:1 ~imm:disp)
+  | Instr.Jump tgt -> (op_j lsl 26) lor jump_target tgt
+  | Instr.Jal tgt -> (op_jal lsl 26) lor jump_target tgt
+  | Instr.Jr rs -> rtype ~rs:(r rs) ~rt:0 ~rd:0 ~shamt:0 ~funct:f_jr
+  | Instr.Jalr (rd, rs) ->
+      rtype ~rs:(r rs) ~rt:0 ~rd:(r rd) ~shamt:0 ~funct:f_jalr
+  | Instr.Ext { eid; dst; src1; src2 } ->
+      if eid < 0 || eid > 0x7FF then fail "ext id out of range: %d" eid;
+      (op_ext lsl 26) lor (r src1 lsl 21) lor (r src2 lsl 16)
+      lor (r dst lsl 11) lor eid
+  | Instr.Cfgld eid ->
+      if eid < 0 || eid > 0x7FF then fail "cfgld id out of range: %d" eid
+      else (op_cfgld lsl 26) lor eid
+  | Instr.Nop -> 0
+  | Instr.Halt -> op_halt lsl 26
+
+let decode ~index word =
+  let op = (word lsr 26) land 0x3F in
+  let rs = reg ((word lsr 21) land 0x1F) in
+  let rt = reg ((word lsr 16) land 0x1F) in
+  let rd = reg ((word lsr 11) land 0x1F) in
+  let shamt = (word lsr 6) land 0x1F in
+  let funct = word land 0x3F in
+  let imm_u = word land 0xFFFF in
+  let imm_s = Word.sext16 imm_u in
+  let btarget = index + 1 + imm_s in
+  if op = op_special then (
+    if word = 0 then Instr.Nop
+    else
+      match alu_of_funct funct with
+      | Some a -> Instr.Alu_rrr (a, rd, rs, rt)
+      | None ->
+          if funct = f_sll then Instr.Shift_imm (Op.Sll, rd, rt, shamt)
+          else if funct = f_srl then Instr.Shift_imm (Op.Srl, rd, rt, shamt)
+          else if funct = f_sra then Instr.Shift_imm (Op.Sra, rd, rt, shamt)
+          else if funct = f_sllv then Instr.Shift_reg (Op.Sll, rd, rt, rs)
+          else if funct = f_srlv then Instr.Shift_reg (Op.Srl, rd, rt, rs)
+          else if funct = f_srav then Instr.Shift_reg (Op.Sra, rd, rt, rs)
+          else if funct = f_jr then Instr.Jr rs
+          else if funct = f_jalr then Instr.Jalr (rd, rs)
+          else if funct = f_mfhi then Instr.Mfhi rd
+          else if funct = f_mflo then Instr.Mflo rd
+          else if funct = f_mult then Instr.Muldiv (Op.Mult, rs, rt)
+          else if funct = f_multu then Instr.Muldiv (Op.Multu, rs, rt)
+          else if funct = f_div then Instr.Muldiv (Op.Div, rs, rt)
+          else if funct = f_divu then Instr.Muldiv (Op.Divu, rs, rt)
+          else fail "unknown SPECIAL funct 0x%02x" funct)
+  else if op = op_regimm then
+    match Reg.to_int rt with
+    | 0 -> Instr.Branch (Op.Bltz, rs, Reg.zero, btarget)
+    | 1 -> Instr.Branch (Op.Bgez, rs, Reg.zero, btarget)
+    | n -> fail "unknown REGIMM rt field %d" n
+  else if op = op_j then Instr.Jump (word land 0x3FF_FFFF)
+  else if op = op_jal then Instr.Jal (word land 0x3FF_FFFF)
+  else if op = op_beq then Instr.Branch (Op.Beq, rs, rt, btarget)
+  else if op = op_bne then Instr.Branch (Op.Bne, rs, rt, btarget)
+  else if op = op_blez then Instr.Branch (Op.Blez, rs, Reg.zero, btarget)
+  else if op = op_bgtz then Instr.Branch (Op.Bgtz, rs, Reg.zero, btarget)
+  else if op = op_addi then Instr.Alu_rri (Op.Add, rt, rs, imm_s)
+  else if op = op_addiu then Instr.Alu_rri (Op.Addu, rt, rs, imm_s)
+  else if op = op_slti then Instr.Alu_rri (Op.Slt, rt, rs, imm_s)
+  else if op = op_sltiu then Instr.Alu_rri (Op.Sltu, rt, rs, imm_s)
+  else if op = op_andi then Instr.Alu_rri (Op.And, rt, rs, imm_u)
+  else if op = op_ori then Instr.Alu_rri (Op.Or, rt, rs, imm_u)
+  else if op = op_xori then Instr.Alu_rri (Op.Xor, rt, rs, imm_u)
+  else if op = op_lui then Instr.Lui (rt, imm_u)
+  else if op = op_lb then Instr.Load (Op.LB, rt, rs, imm_s)
+  else if op = op_lbu then Instr.Load (Op.LBU, rt, rs, imm_s)
+  else if op = op_lh then Instr.Load (Op.LH, rt, rs, imm_s)
+  else if op = op_lhu then Instr.Load (Op.LHU, rt, rs, imm_s)
+  else if op = op_lw then Instr.Load (Op.LW, rt, rs, imm_s)
+  else if op = op_sb then Instr.Store (Op.SB, rt, rs, imm_s)
+  else if op = op_sh then Instr.Store (Op.SH, rt, rs, imm_s)
+  else if op = op_sw then Instr.Store (Op.SW, rt, rs, imm_s)
+  else if op = op_ext then
+    Instr.Ext { eid = word land 0x7FF; dst = rd; src1 = rs; src2 = rt }
+  else if op = op_cfgld then Instr.Cfgld (word land 0x7FF)
+  else if op = op_halt then Instr.Halt
+  else fail "unknown opcode 0x%02x" op

@@ -1,0 +1,39 @@
+(** Binary encoding of T1000 instructions.
+
+    The encoding is 32-bit, MIPS-style: R-type
+    [op(6) rs(5) rt(5) rd(5) shamt(5) funct(6)], I-type
+    [op(6) rs(5) rt(5) imm(16)], J-type [op(6) target(26)].  Extended
+    instructions use the reserved opcode [0x3e] with an 11-bit [Conf]
+    field, giving the encoding format of paper Section 2.2 (a
+    register-register operation with an additional configuration field).
+
+    Branch displacements are encoded relative to the next instruction
+    slot, as on MIPS; jump targets are absolute slot indices.  [index] is
+    the slot of the instruction being encoded/decoded. *)
+
+exception Unencodable of string
+(** Raised when a field does not fit its encoding (e.g. a 16-bit
+    immediate out of range, an extended-instruction id above 2047, or a
+    branch displacement beyond 15 bits). *)
+
+val encode : index:int -> Instr.t -> int
+(** The 32-bit instruction word, in [0, 2{^32}).
+    @raise Unencodable when a field does not fit. *)
+
+val decode : index:int -> int -> Instr.t
+(** Inverse of {!encode}.
+    @raise Unencodable on an unknown opcode/funct combination. *)
+
+val text_base : int
+(** Base byte address of the text segment (PISA convention). *)
+
+val bytes_per_slot : int
+(** Byte footprint of one instruction slot in the simulated address space.
+    PISA uses 8-byte instruction slots; instruction-cache behaviour in the
+    timing model follows this. *)
+
+val address_of_index : int -> int
+(** Text address of an instruction slot. *)
+
+val index_of_address : int -> int
+(** Inverse of {!address_of_index}. *)

@@ -1,0 +1,158 @@
+type ext = {
+  eid : int;
+  dst : Reg.t;
+  src1 : Reg.t;
+  src2 : Reg.t;
+}
+
+type t =
+  | Alu_rrr of Op.alu * Reg.t * Reg.t * Reg.t
+  | Alu_rri of Op.alu * Reg.t * Reg.t * int
+  | Shift_imm of Op.shift * Reg.t * Reg.t * int
+  | Shift_reg of Op.shift * Reg.t * Reg.t * Reg.t
+  | Lui of Reg.t * int
+  | Muldiv of Op.muldiv * Reg.t * Reg.t
+  | Mfhi of Reg.t
+  | Mflo of Reg.t
+  | Load of Op.load_width * Reg.t * Reg.t * int
+  | Store of Op.store_width * Reg.t * Reg.t * int
+  | Branch of Op.branch_cond * Reg.t * Reg.t * int
+  | Jump of int
+  | Jal of int
+  | Jr of Reg.t
+  | Jalr of Reg.t * Reg.t
+  | Ext of ext
+  | Cfgld of int
+  | Nop
+  | Halt
+
+let hi_reg = 32
+let lo_reg = 33
+let dep_reg_count = 34
+
+let gpr r = Reg.to_int r
+
+let def1 r = if Reg.equal r Reg.zero then [] else [ gpr r ]
+
+let defs = function
+  | Alu_rrr (_, rd, _, _) -> def1 rd
+  | Alu_rri (_, rt, _, _) -> def1 rt
+  | Shift_imm (_, rd, _, _) -> def1 rd
+  | Shift_reg (_, rd, _, _) -> def1 rd
+  | Lui (rt, _) -> def1 rt
+  | Muldiv _ -> [ hi_reg; lo_reg ]
+  | Mfhi rd -> def1 rd
+  | Mflo rd -> def1 rd
+  | Load (_, rt, _, _) -> def1 rt
+  | Store _ -> []
+  | Branch _ -> []
+  | Jump _ -> []
+  | Jal _ -> [ gpr Reg.ra ]
+  | Jr _ -> []
+  | Jalr (rd, _) -> def1 rd
+  | Ext { dst; _ } -> def1 dst
+  | Cfgld _ | Nop | Halt -> []
+
+let uses = function
+  | Alu_rrr (_, _, rs, rt) -> [ gpr rs; gpr rt ]
+  | Alu_rri (_, _, rs, _) -> [ gpr rs ]
+  | Shift_imm (_, _, rt, _) -> [ gpr rt ]
+  | Shift_reg (_, _, rt, rs) -> [ gpr rt; gpr rs ]
+  | Lui _ -> []
+  | Muldiv (_, rs, rt) -> [ gpr rs; gpr rt ]
+  | Mfhi _ -> [ hi_reg ]
+  | Mflo _ -> [ lo_reg ]
+  | Load (_, _, rs, _) -> [ gpr rs ]
+  | Store (_, rt, rs, _) -> [ gpr rt; gpr rs ]
+  | Branch (cond, rs, rt, _) -> (
+      match cond with
+      | Op.Beq | Op.Bne -> [ gpr rs; gpr rt ]
+      | Op.Blez | Op.Bgtz | Op.Bltz | Op.Bgez -> [ gpr rs ])
+  | Jump _ -> []
+  | Jal _ -> []
+  | Jr rs -> [ gpr rs ]
+  | Jalr (_, rs) -> [ gpr rs ]
+  | Ext { src1; src2; _ } ->
+      if Reg.equal src2 Reg.zero then [ gpr src1 ] else [ gpr src1; gpr src2 ]
+  | Cfgld _ | Nop | Halt -> []
+
+let fu_class = function
+  | Alu_rrr _ | Alu_rri _ | Shift_imm _ | Shift_reg _ | Lui _ | Mfhi _
+  | Mflo _ ->
+      Op.Fu_int_alu
+  | Muldiv (op, _, _) -> (
+      match op with
+      | Op.Mult | Op.Multu -> Op.Fu_int_mult
+      | Op.Div | Op.Divu -> Op.Fu_int_div)
+  | Load _ -> Op.Fu_mem_read
+  | Store _ -> Op.Fu_mem_write
+  | Branch _ | Jump _ | Jal _ | Jr _ | Jalr _ -> Op.Fu_branch
+  | Ext _ -> Op.Fu_pfu
+  | Cfgld _ | Nop | Halt -> Op.Fu_none
+
+let latency = function
+  | Alu_rrr (op, _, _, _) | Alu_rri (op, _, _, _) -> Op.alu_latency op
+  | Shift_imm (op, _, _, _) | Shift_reg (op, _, _, _) -> Op.shift_latency op
+  | Lui _ | Mfhi _ | Mflo _ -> 1
+  | Muldiv (op, _, _) -> Op.muldiv_latency op
+  | Load _ -> 1
+  | Store _ -> 1
+  | Branch _ | Jump _ | Jal _ | Jr _ | Jalr _ -> 1
+  | Ext _ -> 1
+  | Cfgld _ | Nop | Halt -> 1
+
+let is_control = function
+  | Branch _ | Jump _ | Jal _ | Jr _ | Jalr _ -> true
+  | Alu_rrr _ | Alu_rri _ | Shift_imm _ | Shift_reg _ | Lui _ | Muldiv _
+  | Mfhi _ | Mflo _ | Load _ | Store _ | Ext _ | Cfgld _ | Nop | Halt ->
+      false
+
+let map_targets f = function
+  | Branch (c, rs, rt, tgt) -> Branch (c, rs, rt, f tgt)
+  | Jump tgt -> Jump (f tgt)
+  | Jal tgt -> Jal (f tgt)
+  | ( Alu_rrr _ | Alu_rri _ | Shift_imm _ | Shift_reg _ | Lui _ | Muldiv _
+    | Mfhi _ | Mflo _ | Load _ | Store _ | Jr _ | Jalr _ | Ext _ | Cfgld _
+    | Nop | Halt ) as i ->
+      i
+
+let equal (a : t) b = a = b
+
+let pp ppf i =
+  let r = Reg.pp in
+  match i with
+  | Alu_rrr (op, rd, rs, rt) ->
+      Format.fprintf ppf "%a %a, %a, %a" Op.pp_alu op r rd r rs r rt
+  | Alu_rri (op, rt, rs, imm) ->
+      Format.fprintf ppf "%ai %a, %a, %d" Op.pp_alu op r rt r rs imm
+  | Shift_imm (op, rd, rt, sh) ->
+      Format.fprintf ppf "%a %a, %a, %d" Op.pp_shift op r rd r rt sh
+  | Shift_reg (op, rd, rt, rs) ->
+      Format.fprintf ppf "%av %a, %a, %a" Op.pp_shift op r rd r rt r rs
+  | Lui (rt, imm) -> Format.fprintf ppf "lui %a, %d" r rt imm
+  | Muldiv (op, rs, rt) ->
+      Format.fprintf ppf "%a %a, %a" Op.pp_muldiv op r rs r rt
+  | Mfhi rd -> Format.fprintf ppf "mfhi %a" r rd
+  | Mflo rd -> Format.fprintf ppf "mflo %a" r rd
+  | Load (w, rt, rs, off) ->
+      Format.fprintf ppf "%a %a, %d(%a)" Op.pp_load_width w r rt off r rs
+  | Store (w, rt, rs, off) ->
+      Format.fprintf ppf "%a %a, %d(%a)" Op.pp_store_width w r rt off r rs
+  | Branch (c, rs, rt, tgt) -> (
+      match c with
+      | Op.Beq | Op.Bne ->
+          Format.fprintf ppf "%a %a, %a, @%d" Op.pp_branch_cond c r rs r rt
+            tgt
+      | Op.Blez | Op.Bgtz | Op.Bltz | Op.Bgez ->
+          Format.fprintf ppf "%a %a, @%d" Op.pp_branch_cond c r rs tgt)
+  | Jump tgt -> Format.fprintf ppf "j @%d" tgt
+  | Jal tgt -> Format.fprintf ppf "jal @%d" tgt
+  | Jr rs -> Format.fprintf ppf "jr %a" r rs
+  | Jalr (rd, rs) -> Format.fprintf ppf "jalr %a, %a" r rd r rs
+  | Ext { eid; dst; src1; src2 } ->
+      Format.fprintf ppf "ext#%d %a, %a, %a" eid r dst r src1 r src2
+  | Cfgld eid -> Format.fprintf ppf "cfgld#%d" eid
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Halt -> Format.pp_print_string ppf "halt"
+
+let to_string i = Format.asprintf "%a" pp i

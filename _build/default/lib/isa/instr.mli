@@ -1,0 +1,92 @@
+(** Instructions of the T1000 ISA.
+
+    Instructions are held in a resolved form: branch and jump targets are
+    indices into the enclosing program's instruction array (one slot per
+    instruction; the encoding maps a slot to an 8-byte PISA-style text
+    address).  The {!T1000_asm.Builder} DSL produces this form from
+    label-based source.
+
+    Extended instructions ([Ext]) are register-register operations with a
+    [Conf] field ({!field-eid}) naming a PFU configuration, exactly as in
+    Section 2.2 of the paper.  Their dataflow semantics live in an external
+    table (see {!T1000_select.Extinstr}); the ISA layer only knows their
+    register ports. *)
+
+type ext = {
+  eid : int;  (** index into the program's extended-instruction table; the
+                  decode-stage [Conf] tag is derived from the configuration
+                  this table entry names *)
+  dst : Reg.t;
+  src1 : Reg.t;
+  src2 : Reg.t;  (** second input port; [Reg.zero] when the extended
+                     instruction uses a single register input *)
+}
+
+type t =
+  | Alu_rrr of Op.alu * Reg.t * Reg.t * Reg.t
+      (** [Alu_rrr (op, rd, rs, rt)]: [rd <- rs op rt] *)
+  | Alu_rri of Op.alu * Reg.t * Reg.t * int
+      (** [Alu_rri (op, rt, rs, imm)]: [rt <- rs op imm] with a 16-bit
+          immediate (sign-extended for arithmetic/comparison, zero-extended
+          for logical operations, as on MIPS) *)
+  | Shift_imm of Op.shift * Reg.t * Reg.t * int
+      (** [Shift_imm (op, rd, rt, shamt)]: [rd <- rt op shamt],
+          [0 <= shamt < 32] *)
+  | Shift_reg of Op.shift * Reg.t * Reg.t * Reg.t
+      (** [Shift_reg (op, rd, rt, rs)]: [rd <- rt op (rs land 31)] *)
+  | Lui of Reg.t * int  (** [rt <- imm16 lsl 16] *)
+  | Muldiv of Op.muldiv * Reg.t * Reg.t
+      (** [(rs, rt)]: writes HI and LO *)
+  | Mfhi of Reg.t
+  | Mflo of Reg.t
+  | Load of Op.load_width * Reg.t * Reg.t * int
+      (** [Load (w, rt, rs, off)]: [rt <- mem[rs + off]] *)
+  | Store of Op.store_width * Reg.t * Reg.t * int
+      (** [Store (w, rt, rs, off)]: [mem[rs + off] <- rt] *)
+  | Branch of Op.branch_cond * Reg.t * Reg.t * int
+      (** [(cond, rs, rt, target)]; [target] is an instruction index *)
+  | Jump of int  (** unconditional jump to instruction index *)
+  | Jal of int   (** jump-and-link; writes the return slot index to [ra] *)
+  | Jr of Reg.t
+  | Jalr of Reg.t * Reg.t  (** [(rd, rs)] *)
+  | Ext of ext
+  | Cfgld of int
+      (** configuration-prefetch hint: ask the PFU file to start loading
+          the configuration of extended instruction [eid] without
+          blocking.  Architecturally a no-op; inserted by the rewriter
+          in loop preheaders when configuration prefetching is enabled *)
+  | Nop
+  | Halt  (** terminates simulation (stands for the exit syscall) *)
+
+(* Dependence views.  Register names are encoded as ints: 0-31 are the
+   GPRs, [hi_reg] (32) and [lo_reg] (33) the multiply/divide registers.
+   Writes to r0 are discarded and never appear in [defs]. *)
+
+val hi_reg : int
+val lo_reg : int
+val dep_reg_count : int
+(** Total register namespace size for dependence tracking (34). *)
+
+val defs : t -> int list
+(** Registers written, in the encoding above. *)
+
+val uses : t -> int list
+(** Registers read (r0 included when syntactically present, since reading
+    r0 is harmless but keeps the views total). *)
+
+val fu_class : t -> Op.fu_class
+val latency : t -> int
+(** Execution latency on the base machine.  Loads return the cache-hit
+    assumption (1); the timing simulator adds memory-hierarchy delay.
+    [Ext] returns 1 (paper Section 3.1). *)
+
+val is_control : t -> bool
+(** Branches and jumps. *)
+
+val map_targets : (int -> int) -> t -> t
+(** Rewrite branch/jump target indices; used by the program rewriter when
+    instructions are deleted or inserted. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

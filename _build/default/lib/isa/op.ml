@@ -1,0 +1,127 @@
+type alu =
+  | Add
+  | Addu
+  | Sub
+  | Subu
+  | And
+  | Or
+  | Xor
+  | Nor
+  | Slt
+  | Sltu
+
+type shift =
+  | Sll
+  | Srl
+  | Sra
+
+type muldiv =
+  | Mult
+  | Multu
+  | Div
+  | Divu
+
+type load_width =
+  | LB
+  | LBU
+  | LH
+  | LHU
+  | LW
+
+type store_width =
+  | SB
+  | SH
+  | SW
+
+type branch_cond =
+  | Beq
+  | Bne
+  | Blez
+  | Bgtz
+  | Bltz
+  | Bgez
+
+type fu_class =
+  | Fu_int_alu
+  | Fu_int_mult
+  | Fu_int_div
+  | Fu_mem_read
+  | Fu_mem_write
+  | Fu_branch
+  | Fu_pfu
+  | Fu_none
+
+let alu_latency = function
+  | Add | Addu | Sub | Subu | And | Or | Xor | Nor | Slt | Sltu -> 1
+
+let shift_latency = function Sll | Srl | Sra -> 1
+
+let muldiv_latency = function
+  | Mult | Multu -> 3
+  | Div | Divu -> 20
+
+let alu_to_string = function
+  | Add -> "add"
+  | Addu -> "addu"
+  | Sub -> "sub"
+  | Subu -> "subu"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Nor -> "nor"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+
+let shift_to_string = function
+  | Sll -> "sll"
+  | Srl -> "srl"
+  | Sra -> "sra"
+
+let muldiv_to_string = function
+  | Mult -> "mult"
+  | Multu -> "multu"
+  | Div -> "div"
+  | Divu -> "divu"
+
+let load_width_to_string = function
+  | LB -> "lb"
+  | LBU -> "lbu"
+  | LH -> "lh"
+  | LHU -> "lhu"
+  | LW -> "lw"
+
+let store_width_to_string = function
+  | SB -> "sb"
+  | SH -> "sh"
+  | SW -> "sw"
+
+let branch_cond_to_string = function
+  | Beq -> "beq"
+  | Bne -> "bne"
+  | Blez -> "blez"
+  | Bgtz -> "bgtz"
+  | Bltz -> "bltz"
+  | Bgez -> "bgez"
+
+let pp_alu ppf op = Format.pp_print_string ppf (alu_to_string op)
+let pp_shift ppf op = Format.pp_print_string ppf (shift_to_string op)
+let pp_muldiv ppf op = Format.pp_print_string ppf (muldiv_to_string op)
+
+let pp_load_width ppf w = Format.pp_print_string ppf (load_width_to_string w)
+
+let pp_store_width ppf w =
+  Format.pp_print_string ppf (store_width_to_string w)
+
+let pp_branch_cond ppf c =
+  Format.pp_print_string ppf (branch_cond_to_string c)
+
+let alu_commutative = function
+  | Add | Addu | And | Or | Xor | Nor -> true
+  | Sub | Subu | Slt | Sltu -> false
+
+let equal_alu (a : alu) b = a = b
+let equal_shift (a : shift) b = a = b
+let equal_muldiv (a : muldiv) b = a = b
+let equal_load_width (a : load_width) b = a = b
+let equal_store_width (a : store_width) b = a = b
+let equal_branch_cond (a : branch_cond) b = a = b

@@ -1,0 +1,97 @@
+(** Operation kinds of the T1000 base ISA.
+
+    The base ISA is a MIPS/PISA-like RISC instruction set, matching the
+    SimpleScalar PISA substrate used by the paper.  Operation kinds are
+    shared between the instruction representation ({!Instr}), the dataflow
+    graphs extracted for extended instructions ({!T1000_dfg.Dfg}), and the
+    hardware cost model. *)
+
+(** Three-register / register-immediate ALU operations. *)
+type alu =
+  | Add  (** signed add (traps ignored; same result as [Addu]) *)
+  | Addu
+  | Sub
+  | Subu
+  | And
+  | Or
+  | Xor
+  | Nor
+  | Slt  (** set-less-than, signed *)
+  | Sltu (** set-less-than, unsigned *)
+
+(** Shift operations. *)
+type shift =
+  | Sll
+  | Srl
+  | Sra
+
+(** Multiply/divide operations targeting HI/LO. *)
+type muldiv =
+  | Mult
+  | Multu
+  | Div
+  | Divu
+
+(** Load widths. *)
+type load_width =
+  | LB
+  | LBU
+  | LH
+  | LHU
+  | LW
+
+(** Store widths. *)
+type store_width =
+  | SB
+  | SH
+  | SW
+
+(** Branch comparison conditions.  Two-register conditions ([Beq], [Bne])
+    compare rs with rt; the single-register conditions compare rs with
+    zero and ignore rt. *)
+type branch_cond =
+  | Beq
+  | Bne
+  | Blez
+  | Bgtz
+  | Bltz
+  | Bgez
+
+(** Functional-unit classes used by the timing model. *)
+type fu_class =
+  | Fu_int_alu    (** single-cycle integer ALU / shifter *)
+  | Fu_int_mult   (** multiplier *)
+  | Fu_int_div    (** divider *)
+  | Fu_mem_read   (** load port *)
+  | Fu_mem_write  (** store port *)
+  | Fu_branch     (** branch/jump resolution (uses an int ALU slot) *)
+  | Fu_pfu        (** programmable functional unit *)
+  | Fu_none       (** consumes no functional unit (nop) *)
+
+val alu_latency : alu -> int
+(** Execution latency in cycles of an ALU operation on the base machine. *)
+
+val shift_latency : shift -> int
+val muldiv_latency : muldiv -> int
+
+val pp_alu : Format.formatter -> alu -> unit
+val pp_shift : Format.formatter -> shift -> unit
+val pp_muldiv : Format.formatter -> muldiv -> unit
+val pp_load_width : Format.formatter -> load_width -> unit
+val pp_store_width : Format.formatter -> store_width -> unit
+val pp_branch_cond : Format.formatter -> branch_cond -> unit
+
+val alu_commutative : alu -> bool
+(** Whether the operation is commutative in its two operands; used when
+    canonicalizing dataflow graphs so that mirrored sequences share a PFU
+    configuration. *)
+
+val equal_alu : alu -> alu -> bool
+val equal_shift : shift -> shift -> bool
+val equal_muldiv : muldiv -> muldiv -> bool
+val equal_load_width : load_width -> load_width -> bool
+val equal_store_width : store_width -> store_width -> bool
+val equal_branch_cond : branch_cond -> branch_cond -> bool
+
+val alu_to_string : alu -> string
+val shift_to_string : shift -> string

@@ -1,0 +1,45 @@
+type t = int
+
+let count = 32
+
+let of_int n =
+  if n < 0 || n >= count then invalid_arg "Reg.of_int: out of range"
+  else n
+
+let to_int r = r
+let zero = 0
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let pp ppf r = Format.fprintf ppf "r%d" r
+
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t1 = 9
+let t2 = 10
+let t3 = 11
+let t4 = 12
+let t5 = 13
+let t6 = 14
+let t7 = 15
+let s0 = 16
+let s1 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let t8 = 24
+let t9 = 25
+let k0 = 26
+let k1 = 27
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31

@@ -1,0 +1,60 @@
+(** Architectural general-purpose registers.
+
+    The T1000 ISA exposes 32 general-purpose registers in the MIPS
+    convention; register 0 is hard-wired to zero.  HI and LO (the
+    multiply/divide result registers) are modelled separately by the
+    machine state, not as members of this type. *)
+
+type t = private int
+(** A register number in [0, 31]. *)
+
+val of_int : int -> t
+(** @raise Invalid_argument if the number is outside [0, 31]. *)
+
+val to_int : t -> int
+
+val zero : t
+(** Register 0, hard-wired to the value 0. *)
+
+val count : int
+(** Number of general-purpose registers (32). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints in assembler syntax, e.g. [r7]. *)
+
+(* Conventional names, following the MIPS o32 ABI, for readable kernels. *)
+
+val at : t
+val v0 : t
+val v1 : t
+val a0 : t
+val a1 : t
+val a2 : t
+val a3 : t
+val t0 : t
+val t1 : t
+val t2 : t
+val t3 : t
+val t4 : t
+val t5 : t
+val t6 : t
+val t7 : t
+val s0 : t
+val s1 : t
+val s2 : t
+val s3 : t
+val s4 : t
+val s5 : t
+val s6 : t
+val s7 : t
+val t8 : t
+val t9 : t
+val k0 : t
+val k1 : t
+val gp : t
+val sp : t
+val fp : t
+val ra : t

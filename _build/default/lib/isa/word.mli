@@ -1,0 +1,71 @@
+(** 32-bit machine words represented as native OCaml [int]s.
+
+    Every value handled by the simulator is kept sign-extended to 32 bits:
+    the representation invariant is [-2{^31} <= v < 2{^31}].  Using native
+    ints instead of [int32] avoids boxing on the simulator's hot paths. *)
+
+type t = int
+(** A 32-bit word, sign-extended into a native int. *)
+
+val sext32 : int -> t
+(** Truncate to 32 bits and sign-extend.  Canonicalizes any int into the
+    representation invariant. *)
+
+val to_u32 : t -> int
+(** The unsigned 32-bit value, in [0, 2{^32}). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul_lo : t -> t -> t
+(** Low 32 bits of the 64-bit product. *)
+
+val mul_hi_signed : t -> t -> t
+(** High 32 bits of the signed 64-bit product. *)
+
+val mul_hi_unsigned : t -> t -> t
+(** High 32 bits of the unsigned 64-bit product. *)
+
+val div_signed : t -> t -> t * t
+(** [(quotient, remainder)], truncating division.  Division by zero yields
+    [(0, numerator)] (the hardware result is undefined; we pick a total
+    deterministic one). *)
+
+val div_unsigned : t -> t -> t * t
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognor : t -> t -> t
+
+val sll : t -> int -> t
+(** Logical left shift; only the low 5 bits of the shift amount are used,
+    as on MIPS. *)
+
+val srl : t -> int -> t
+(** Logical right shift (5-bit shift amount). *)
+
+val sra : t -> int -> t
+(** Arithmetic right shift (5-bit shift amount). *)
+
+val slt : t -> t -> t
+(** Signed less-than, returning 0 or 1. *)
+
+val sltu : t -> t -> t
+(** Unsigned less-than, returning 0 or 1. *)
+
+val sext8 : int -> t
+val sext16 : int -> t
+val zext8 : int -> t
+val zext16 : int -> t
+
+val width_signed : t -> int
+(** Number of significant bits needed to represent the value in two's
+    complement, counting the sign bit: [width_signed 0 = 1],
+    [width_signed (-1) = 1], [width_signed 255 = 9]. *)
+
+val width_unsigned : t -> int
+(** Number of significant bits of the unsigned 32-bit interpretation:
+    [width_unsigned 0 = 1], [width_unsigned 255 = 8]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Hex rendering of the unsigned 32-bit value, e.g. [0x0000ff00]. *)

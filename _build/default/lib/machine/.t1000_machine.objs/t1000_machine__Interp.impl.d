@@ -1,0 +1,1 @@
+lib/machine/interp.ml: Array Encoding Format Instr Memory Op Program Reg Regfile T1000_asm T1000_isa Trace Word

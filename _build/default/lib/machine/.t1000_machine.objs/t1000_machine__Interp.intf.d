@@ -1,0 +1,1 @@
+lib/machine/interp.mli: Memory Regfile T1000_asm T1000_isa Trace Word

@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Bytes Char Hashtbl T1000_isa Word

@@ -1,0 +1,1 @@
+lib/machine/regfile.ml: Array Format Instr Reg T1000_isa Word

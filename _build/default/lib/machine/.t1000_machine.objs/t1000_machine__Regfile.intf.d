@@ -1,0 +1,1 @@
+lib/machine/regfile.mli: Format Reg T1000_isa Word

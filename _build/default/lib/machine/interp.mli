@@ -1,0 +1,53 @@
+(** Functional (architectural) interpreter.
+
+    Executes a {!T1000_asm.Program} over a {!Memory} and {!Regfile},
+    producing a pull-based dynamic trace.  The timing simulator and the
+    profiler both consume this stream; memory usage is O(1) in trace
+    length.
+
+    Extended instructions are evaluated through the [ext_eval] callback
+    (the dataflow-graph evaluators built by {!T1000_select.Extinstr});
+    programs without extended instructions can omit it. *)
+
+open T1000_isa
+
+exception Fault of string
+(** Raised on: execution falling off the end of the program, an
+    unaligned halfword/word access, a [jr] to a non-text address, an
+    extended instruction with no evaluator, or exceeding [max_steps]. *)
+
+type t
+
+val create :
+  ?regs:Regfile.t ->
+  ?mem:Memory.t ->
+  ?ext_eval:(int -> Word.t -> Word.t -> Word.t) ->
+  T1000_asm.Program.t ->
+  t
+(** [ext_eval eid v1 v2] must return the result of extended instruction
+    [eid] on operand values [v1], [v2]. *)
+
+val step : t -> Trace.entry option
+(** Execute one instruction; [None] once halted.  Idempotent after
+    halt. *)
+
+val run : ?max_steps:int -> t -> int
+(** Run to [Halt]; returns the number of instructions executed
+    (default [max_steps] = 1 billion).
+    @raise Fault if the program does not halt within [max_steps]. *)
+
+val set_observer : t -> (Trace.obs -> unit) -> unit
+(** Install a profiling hook called after every executed instruction. *)
+
+val clear_observer : t -> unit
+
+val pc : t -> int
+(** Slot index of the next instruction. *)
+
+val halted : t -> bool
+val steps : t -> int
+(** Instructions executed so far. *)
+
+val mem : t -> Memory.t
+val regs : t -> Regfile.t
+val program : t -> T1000_asm.Program.t

@@ -1,0 +1,83 @@
+open T1000_isa
+
+let page_bits = 12
+let page_bytes = 1 lsl page_bits
+let page_mask = page_bytes - 1
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_of t addr =
+  let key = addr lsr page_bits in
+  match Hashtbl.find_opt t.pages key with
+  | Some p -> p
+  | None ->
+      let p = Bytes.make page_bytes '\000' in
+      Hashtbl.add t.pages key p;
+      p
+
+let normalize addr = addr land 0xFFFF_FFFF
+
+let load_byte t addr =
+  let addr = normalize addr in
+  match Hashtbl.find_opt t.pages (addr lsr page_bits) with
+  | None -> 0
+  | Some p -> Char.code (Bytes.unsafe_get p (addr land page_mask))
+
+let store_byte t addr v =
+  let addr = normalize addr in
+  let p = page_of t addr in
+  Bytes.unsafe_set p (addr land page_mask) (Char.unsafe_chr (v land 0xFF))
+
+let load_half t addr = load_byte t addr lor (load_byte t (addr + 1) lsl 8)
+
+let store_half t addr v =
+  store_byte t addr v;
+  store_byte t (addr + 1) (v lsr 8)
+
+let load_word t addr =
+  let addr = normalize addr in
+  (* Fast path: word within one page. *)
+  if addr land page_mask <= page_bytes - 4 then
+    match Hashtbl.find_opt t.pages (addr lsr page_bits) with
+    | None -> 0
+    | Some p ->
+        let off = addr land page_mask in
+        let b0 = Char.code (Bytes.unsafe_get p off)
+        and b1 = Char.code (Bytes.unsafe_get p (off + 1))
+        and b2 = Char.code (Bytes.unsafe_get p (off + 2))
+        and b3 = Char.code (Bytes.unsafe_get p (off + 3)) in
+        Word.sext32 (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24))
+  else
+    Word.sext32
+      (load_byte t addr
+      lor (load_byte t (addr + 1) lsl 8)
+      lor (load_byte t (addr + 2) lsl 16)
+      lor (load_byte t (addr + 3) lsl 24))
+
+let store_word t addr v =
+  let addr = normalize addr in
+  let v = Word.to_u32 v in
+  if addr land page_mask <= page_bytes - 4 then begin
+    let p = page_of t addr in
+    let off = addr land page_mask in
+    Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set p (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+    Bytes.unsafe_set p (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+    Bytes.unsafe_set p (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  end
+  else begin
+    store_byte t addr v;
+    store_byte t (addr + 1) (v lsr 8);
+    store_byte t (addr + 2) (v lsr 16);
+    store_byte t (addr + 3) (v lsr 24)
+  end
+
+let clear t = Hashtbl.reset t.pages
+let touched_pages t = Hashtbl.length t.pages
+
+let blit_words t addr ws =
+  Array.iteri (fun i w -> store_word t (addr + (4 * i)) w) ws
+
+let read_words t addr n = Array.init n (fun i -> load_word t (addr + (4 * i)))

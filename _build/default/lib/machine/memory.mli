@@ -1,0 +1,42 @@
+(** Sparse byte-addressable memory.
+
+    Pages (4 KiB) are allocated on first touch, so the full 32-bit
+    address space is usable without preallocation.  All multi-byte
+    accesses are little-endian and need not be aligned (the ISA's loads
+    and stores in practice are; the interpreter checks alignment
+    separately). *)
+
+type t
+
+val create : unit -> t
+
+val load_byte : t -> int -> int
+(** Unsigned byte in [0, 255].  Untouched memory reads as zero. *)
+
+val store_byte : t -> int -> int -> unit
+(** [store_byte m addr v] writes the low 8 bits of [v]. *)
+
+val load_half : t -> int -> int
+(** Unsigned 16-bit little-endian value. *)
+
+val store_half : t -> int -> int -> unit
+
+val load_word : t -> int -> T1000_isa.Word.t
+(** Sign-extended 32-bit little-endian value. *)
+
+val store_word : t -> int -> T1000_isa.Word.t -> unit
+
+val clear : t -> unit
+(** Drop every page, resetting all of memory to zero. *)
+
+val touched_pages : t -> int
+(** Number of 4 KiB pages allocated so far (for stats and tests). *)
+
+val page_bytes : int
+
+val blit_words : t -> int -> T1000_isa.Word.t array -> unit
+(** Store an array of 32-bit words at consecutive word addresses starting
+    at the given byte address. *)
+
+val read_words : t -> int -> int -> T1000_isa.Word.t array
+(** [read_words m addr n] reads [n] consecutive words. *)

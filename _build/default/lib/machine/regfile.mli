@@ -1,0 +1,21 @@
+(** Architectural register file: 32 GPRs (r0 hard-wired to zero) plus the
+    HI and LO multiply/divide registers. *)
+
+open T1000_isa
+
+type t
+
+val create : unit -> t
+
+val get : t -> Reg.t -> Word.t
+val set : t -> Reg.t -> Word.t -> unit
+(** Writes to r0 are silently discarded. *)
+
+val hi : t -> Word.t
+val lo : t -> Word.t
+val set_hi : t -> Word.t -> unit
+val set_lo : t -> Word.t -> unit
+
+val reset : t -> unit
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

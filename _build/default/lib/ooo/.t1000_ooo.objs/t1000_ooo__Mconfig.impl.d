@@ -1,0 +1,1 @@
+lib/ooo/mconfig.ml: Format T1000_cache

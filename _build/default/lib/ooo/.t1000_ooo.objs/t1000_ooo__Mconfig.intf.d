@@ -1,0 +1,1 @@
+lib/ooo/mconfig.mli: Format T1000_cache

@@ -1,0 +1,1 @@
+lib/ooo/pfu_file.ml: Array Format Hashtbl List Mconfig

@@ -1,0 +1,1 @@
+lib/ooo/pfu_file.mli: Format Mconfig

@@ -1,0 +1,1 @@
+lib/ooo/ruu.ml: Array Instr Printf T1000_isa

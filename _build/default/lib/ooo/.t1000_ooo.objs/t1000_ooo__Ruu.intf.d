@@ -1,0 +1,1 @@
+lib/ooo/ruu.mli: Instr T1000_isa

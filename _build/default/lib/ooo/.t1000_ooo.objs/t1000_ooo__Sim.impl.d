@@ -1,0 +1,1 @@
+lib/ooo/sim.ml: Array Cache Encoding Hashtbl Hierarchy Instr Interp List Mconfig Memory Op Pfu_file Queue Regfile Ruu Stats T1000_cache T1000_isa T1000_machine Tlb Trace

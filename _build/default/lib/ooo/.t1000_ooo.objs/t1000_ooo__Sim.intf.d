@@ -1,0 +1,1 @@
+lib/ooo/sim.mli: Mconfig Memory Program Regfile Stats T1000_asm T1000_isa T1000_machine Word

@@ -1,0 +1,1 @@
+lib/ooo/stats.mli: Format

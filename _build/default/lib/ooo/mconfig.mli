@@ -1,0 +1,51 @@
+(** Machine configuration for the T1000 timing model.
+
+    The defaults model the paper's substrate: a 4-wide out-of-order
+    superscalar (fetch/decode/issue/commit four per cycle), a Register
+    Update Unit for renaming and in-order retirement, perfect branch
+    prediction, realistic L1/L2 caches and TLBs — plus zero or more
+    PFUs with a configurable reconfiguration penalty. *)
+
+(** PFU replacement policy (paper: LRU). *)
+type pfu_replacement =
+  | Lru
+  | Fifo
+  | Random_det  (** deterministic pseudo-random (xorshift), for the
+                    replacement-policy ablation *)
+
+(** Branch prediction model.  The paper simulates with perfect
+    prediction; [Bimodal] adds the classic 2-bit-counter predictor with
+    a last-target buffer for indirect jumps, modelling mispredictions
+    as fetch-redirect stalls until the branch resolves. *)
+type branch_predictor =
+  | Perfect
+  | Bimodal of int  (** number of 2-bit counters (power of two) *)
+
+type t = {
+  fetch_width : int;
+  decode_width : int;
+  issue_width : int;
+  commit_width : int;
+  ruu_size : int;
+  ifq_size : int;  (** fetch-queue capacity *)
+  n_int_alu : int;  (** single-cycle ALU/shift/branch units *)
+  n_int_mult : int;  (** multiply/divide units *)
+  n_mem_ports : int;
+  n_pfus : int option;  (** [None] = unlimited (one per configuration) *)
+  pfu_reconfig_cycles : int;
+  pfu_replacement : pfu_replacement;
+  branch_pred : branch_predictor;  (** paper default: [Perfect] *)
+  cache : T1000_cache.Hierarchy.config;
+  max_cycles : int;  (** simulation safety limit *)
+}
+
+val default : t
+(** 4-wide, 64-entry RUU, 4 ALUs / 1 multiplier / 2 memory ports, no
+    PFUs, default cache hierarchy. *)
+
+val with_pfus :
+  ?replacement:pfu_replacement -> ?penalty:int -> int option -> t -> t
+(** [with_pfus n t]: [t] with [n] PFUs (default penalty 10 cycles,
+    LRU). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,179 @@
+type unit_state = {
+  mutable conf : int;  (* -1 = empty *)
+  mutable ready_at : int;
+  mutable last_use : int;
+  mutable loaded_at : int;  (* for FIFO *)
+  mutable pins : int;
+}
+
+type t = {
+  units : unit_state array;  (* limited mode *)
+  unlimited : (int, int) Hashtbl.t;  (* conf -> ready_at *)
+  is_unlimited : bool;
+  penalty : int;
+  replacement : Mconfig.pfu_replacement;
+  mutable rng : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stalls : int;
+  mutable prefetches : int;
+}
+
+let create ~n ~penalty ~replacement =
+  let n_units, is_unlimited =
+    match n with Some n -> (max n 0, false) | None -> (0, true)
+  in
+  {
+    units =
+      Array.init n_units (fun _ ->
+          { conf = -1; ready_at = 0; last_use = -1; loaded_at = -1; pins = 0 });
+    unlimited = Hashtbl.create 64;
+    is_unlimited;
+    penalty;
+    replacement;
+    rng = 0x2545F491;
+    hits = 0;
+    misses = 0;
+    stalls = 0;
+    prefetches = 0;
+  }
+
+type outcome =
+  | Ready of {
+      unit_id : int;
+      at : int;
+      hit : bool;
+    }
+  | Stall
+
+let next_rng t =
+  (* xorshift, deterministic across runs *)
+  let x = t.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = (x lxor (x lsl 17)) land max_int in
+  t.rng <- x;
+  x
+
+let request_unlimited t ~now ~conf =
+  match Hashtbl.find_opt t.unlimited conf with
+  | Some ready_at ->
+      t.hits <- t.hits + 1;
+      Ready { unit_id = conf; at = max now ready_at; hit = true }
+  | None ->
+      t.misses <- t.misses + 1;
+      let at = now + t.penalty in
+      Hashtbl.replace t.unlimited conf at;
+      Ready { unit_id = conf; at; hit = false }
+
+let find_conf t conf =
+  let n = Array.length t.units in
+  let rec go i =
+    if i >= n then -1 else if t.units.(i).conf = conf then i else go (i + 1)
+  in
+  go 0
+
+let pick_victim t ~now =
+  let n = Array.length t.units in
+  (* Empty unpinned unit first. *)
+  let rec find_empty i =
+    if i >= n then -1
+    else if t.units.(i).conf = -1 && t.units.(i).pins = 0 then i
+    else find_empty (i + 1)
+  in
+  let empty = find_empty 0 in
+  if empty >= 0 then empty
+  else begin
+    let unpinned =
+      Array.to_list (Array.mapi (fun i u -> (i, u)) t.units)
+      |> List.filter (fun (_, u) -> u.pins = 0)
+    in
+    match unpinned with
+    | [] -> -1
+    | l -> (
+        match t.replacement with
+        | Mconfig.Lru ->
+            fst
+              (List.fold_left
+                 (fun (bi, bu) (i, u) ->
+                   if u.last_use < bu.last_use then (i, u) else (bi, bu))
+                 (List.hd l) (List.tl l))
+        | Mconfig.Fifo ->
+            fst
+              (List.fold_left
+                 (fun (bi, bu) (i, u) ->
+                   if u.loaded_at < bu.loaded_at then (i, u) else (bi, bu))
+                 (List.hd l) (List.tl l))
+        | Mconfig.Random_det ->
+            let k = next_rng t mod List.length l in
+            fst (List.nth l k))
+    |> fun i ->
+    ignore now;
+    i
+  end
+
+let request t ~now ~conf =
+  if t.is_unlimited then request_unlimited t ~now ~conf
+  else if Array.length t.units = 0 then Stall
+  else begin
+    let i = find_conf t conf in
+    if i >= 0 then begin
+      let u = t.units.(i) in
+      t.hits <- t.hits + 1;
+      u.last_use <- now;
+      u.pins <- u.pins + 1;
+      Ready { unit_id = i; at = max now u.ready_at; hit = true }
+    end
+    else begin
+      match pick_victim t ~now with
+      | -1 ->
+          t.stalls <- t.stalls + 1;
+          Stall
+      | v ->
+          let u = t.units.(v) in
+          t.misses <- t.misses + 1;
+          u.conf <- conf;
+          u.ready_at <- now + t.penalty;
+          u.last_use <- now;
+          u.loaded_at <- now;
+          u.pins <- 1;
+          Ready { unit_id = v; at = u.ready_at; hit = false }
+    end
+  end
+
+let prefetch t ~now ~conf =
+  if t.is_unlimited then begin
+    if not (Hashtbl.mem t.unlimited conf) then begin
+      t.prefetches <- t.prefetches + 1;
+      Hashtbl.replace t.unlimited conf (now + t.penalty)
+    end
+  end
+  else if Array.length t.units > 0 && find_conf t conf < 0 then begin
+    (* best-effort: load into an unpinned victim, or silently give up *)
+    match pick_victim t ~now with
+    | -1 -> ()
+    | v ->
+        let u = t.units.(v) in
+        t.prefetches <- t.prefetches + 1;
+        u.conf <- conf;
+        u.ready_at <- now + t.penalty;
+        u.last_use <- now;
+        u.loaded_at <- now;
+        u.pins <- 0
+  end
+
+let release t ~unit_id =
+  if not t.is_unlimited then begin
+    let u = t.units.(unit_id) in
+    if u.pins > 0 then u.pins <- u.pins - 1
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let prefetches t = t.prefetches
+let reconfigs t = t.misses
+let stalls t = t.stalls
+
+let pp_stats ppf t =
+  Format.fprintf ppf "pfu: %d hits, %d misses/reconfigs, %d dispatch stalls"
+    t.hits t.misses t.stalls

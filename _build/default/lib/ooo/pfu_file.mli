@@ -1,0 +1,55 @@
+(** The PFU file: a small "configuration cache" of programmable
+    functional units.
+
+    At decode, an extended instruction's [Conf] field is compared
+    against the ID tag saved in each PFU (paper Section 2.2).  A match
+    is a hit; otherwise configuration bits are loaded into a victim PFU
+    (LRU by default) which stays busy for the reconfiguration penalty
+    before the instruction may issue.
+
+    A configuration cannot be evicted while an already-dispatched
+    instruction still needs it (the unit is {e pinned}); if every unit
+    is pinned, dispatch must stall and retry.  Pins are released when
+    the instruction issues. *)
+
+type t
+
+val create :
+  n:int option ->
+  penalty:int ->
+  replacement:Mconfig.pfu_replacement ->
+  t
+(** [n = None] models an unlimited PFU file: every configuration gets
+    its own unit and pays the load penalty once, on first use. *)
+
+type outcome =
+  | Ready of {
+      unit_id : int;  (** which PFU will execute the instruction *)
+      at : int;  (** earliest issue cycle (configuration loaded) *)
+      hit : bool;  (** tag matched at decode *)
+    }
+  | Stall  (** every unit is pinned by older configurations; retry *)
+
+val request : t -> now:int -> conf:int -> outcome
+(** Decode-stage configuration check.  On [Ready] the unit's pin count
+    is incremented. *)
+
+val release : t -> unit_id:int -> unit
+(** Called when the requesting instruction issues. *)
+
+val prefetch : t -> now:int -> conf:int -> unit
+(** Best-effort configuration prefetch (the [cfgld] hint): if the
+    configuration is absent and an unpinned unit exists, start loading
+    it; otherwise do nothing.  Never stalls, never counts as a hit or
+    miss. *)
+
+val prefetches : t -> int
+(** Loads started by {!prefetch}. *)
+
+val hits : t -> int
+val misses : t -> int
+val reconfigs : t -> int
+(** Equal to [misses]: every tag miss loads a configuration. *)
+
+val stalls : t -> int
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+open T1000_isa
+
+type entry = {
+  mutable slot : int;
+  mutable instr : Instr.t;
+  mutable mem_addr : int;
+  mutable eid : int;
+  mutable pfu_unit : int;
+  mutable min_issue : int;
+  mutable dep1 : int;
+  mutable dep2 : int;
+  mutable dep3 : int;
+  mutable issued : bool;
+  mutable complete_at : int;
+  mutable seq : int;
+}
+
+type t = {
+  ring : entry array;
+  size : int;
+  mutable head : int;  (* seq of oldest in-flight *)
+  mutable tail : int;  (* seq of next dispatch *)
+}
+
+let fresh_entry () =
+  {
+    slot = -1;
+    instr = Instr.Nop;
+    mem_addr = -1;
+    eid = -1;
+    pfu_unit = -1;
+    min_issue = 0;
+    dep1 = -1;
+    dep2 = -1;
+    dep3 = -1;
+    issued = false;
+    complete_at = max_int;
+    seq = -1;
+  }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Ruu.create: size <= 0";
+  { ring = Array.init size (fun _ -> fresh_entry ()); size; head = 0; tail = 0 }
+
+let size t = t.size
+let occupancy t = t.tail - t.head
+let is_full t = occupancy t >= t.size
+let is_empty t = t.tail = t.head
+let head_seq t = t.head
+let tail_seq t = t.tail
+
+let push t =
+  if is_full t then invalid_arg "Ruu.push: full";
+  let e = t.ring.(t.tail mod t.size) in
+  e.slot <- -1;
+  e.instr <- Instr.Nop;
+  e.mem_addr <- -1;
+  e.eid <- -1;
+  e.pfu_unit <- -1;
+  e.min_issue <- 0;
+  e.dep1 <- -1;
+  e.dep2 <- -1;
+  e.dep3 <- -1;
+  e.issued <- false;
+  e.complete_at <- max_int;
+  e.seq <- t.tail;
+  t.tail <- t.tail + 1;
+  e
+
+let in_flight t seq = seq >= t.head && seq < t.tail
+
+let get t seq =
+  if not (in_flight t seq) then
+    invalid_arg (Printf.sprintf "Ruu.get: seq %d not in flight" seq)
+  else t.ring.(seq mod t.size)
+
+let pop t =
+  if is_empty t then invalid_arg "Ruu.pop: empty";
+  let e = t.ring.(t.head mod t.size) in
+  t.head <- t.head + 1;
+  e

@@ -1,0 +1,60 @@
+(** Register Update Unit (Sohi's RUU): the combined reorder
+    buffer / scheduling window used by the paper's simulator.
+
+    Entries live in a ring buffer addressed by monotonically increasing
+    sequence numbers, so a dependence recorded as a sequence number
+    stays valid after the producer commits (a committed producer is
+    simply "ready").  Dispatch pushes at the tail, commit pops from the
+    head in order. *)
+
+open T1000_isa
+
+type entry = {
+  mutable slot : int;  (** static instruction index *)
+  mutable instr : Instr.t;
+  mutable mem_addr : int;  (** effective address, -1 if none *)
+  mutable eid : int;  (** extended-instruction id, -1 otherwise *)
+  mutable pfu_unit : int;  (** PFU executing this entry, -1 otherwise *)
+  mutable min_issue : int;  (** earliest issue cycle (PFU config load) *)
+  mutable dep1 : int;  (** producer sequence numbers; -1 = no dep *)
+  mutable dep2 : int;
+  mutable dep3 : int;  (** memory (store-to-load) dependence *)
+  mutable issued : bool;
+  mutable complete_at : int;  (** result-available cycle; [max_int]
+                                  until issued *)
+  mutable seq : int;
+}
+
+type t
+
+val create : size:int -> t
+(** @raise Invalid_argument if [size <= 0]. *)
+
+val size : t -> int
+val occupancy : t -> int
+val is_full : t -> bool
+val is_empty : t -> bool
+
+val head_seq : t -> int
+(** Sequence number of the oldest in-flight entry; equals {!tail_seq}
+    when empty. *)
+
+val tail_seq : t -> int
+(** Sequence number the next dispatched entry will get. *)
+
+val push : t -> entry
+(** Allocate the tail entry (fields are reset to defaults and [seq]
+    assigned); caller fills it in.
+    @raise Invalid_argument when full. *)
+
+val get : t -> int -> entry
+(** Entry for an in-flight sequence number.
+    @raise Invalid_argument if not in flight. *)
+
+val in_flight : t -> int -> bool
+(** Whether the sequence number is still in the window ([>= head_seq]).
+    Numbers below [head_seq] have committed. *)
+
+val pop : t -> entry
+(** Commit the head entry.
+    @raise Invalid_argument when empty. *)

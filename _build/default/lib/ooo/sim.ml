@@ -1,0 +1,390 @@
+open T1000_isa
+open T1000_machine
+open T1000_cache
+
+(* In-flight store bookkeeping for perfect memory disambiguation. *)
+type store_rec = {
+  st_seq : int;
+  st_word : int;
+}
+
+let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
+    ~init program =
+  let mem = Memory.create () in
+  let regs = Regfile.create () in
+  init mem regs;
+  let interp = Interp.create ~regs ~mem ?ext_eval program in
+  let hier = Hierarchy.create mconfig.Mconfig.cache in
+  let pfus =
+    Pfu_file.create ~n:mconfig.Mconfig.n_pfus
+      ~penalty:mconfig.Mconfig.pfu_reconfig_cycles
+      ~replacement:mconfig.Mconfig.pfu_replacement
+  in
+  let ruu = Ruu.create ~size:mconfig.Mconfig.ruu_size in
+  (* IFQ entries carry a flag: was this a mispredicted control
+     instruction?  If so, fetch stays blocked until it resolves. *)
+  let ifq : (Trace.entry * bool) Queue.t = Queue.create () in
+  (* One-entry lookahead over the dynamic trace. *)
+  let peeked = ref None in
+  let trace_done = ref false in
+  let peek () =
+    match !peeked with
+    | Some _ as e -> e
+    | None ->
+        if !trace_done then None
+        else begin
+          match Interp.step interp with
+          | Some e ->
+              peeked := Some e;
+              Some e
+          | None ->
+              trace_done := true;
+              None
+        end
+  in
+  let consume () = peeked := None in
+  (* Register rename: dependence register -> seq of latest producer. *)
+  let producer = Array.make Instr.dep_reg_count (-1) in
+  let stores : store_rec Queue.t = Queue.create () in
+  let now = ref 0 in
+  let committed = ref 0 in
+  let ext_committed = ref 0 in
+  let ruu_full_stalls = ref 0 in
+  let fetch_resume = ref 0 in
+  let last_fetch_line = ref (-1) in
+  (* Branch predictor state (Bimodal only). *)
+  let mispredicts = ref 0 in
+  let fetch_stall_cycles = ref 0 in
+  let occupancy_sum = ref 0 in
+  let bimodal_entries =
+    match mconfig.Mconfig.branch_pred with
+    | Mconfig.Perfect -> 0
+    | Mconfig.Bimodal n ->
+        if n <= 0 || n land (n - 1) <> 0 then
+          invalid_arg "Sim.run: Bimodal entries must be a power of two"
+        else n
+  in
+  let counters = Array.make (max bimodal_entries 1) 2 (* weakly taken *) in
+  let btb : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* A mispredicted control instruction blocks fetch until it resolves:
+     first while it sits in the IFQ, then while it is in flight. *)
+  let blocking : [ `None | `In_ifq | `In_flight of int ] ref = ref `None in
+  let line_shift =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 mconfig.Mconfig.cache.Hierarchy.l1i_line 0
+  in
+  let l1_hit = mconfig.Mconfig.cache.Hierarchy.l1_hit in
+
+  let dep_ready seq =
+    seq < 0
+    || (not (Ruu.in_flight ruu seq))
+    ||
+    let p = Ruu.get ruu seq in
+    p.Ruu.issued && p.Ruu.complete_at <= !now
+  in
+  let entry_ready (e : Ruu.entry) =
+    (not e.Ruu.issued)
+    && !now >= e.Ruu.min_issue
+    && dep_ready e.Ruu.dep1 && dep_ready e.Ruu.dep2 && dep_ready e.Ruu.dep3
+  in
+
+  (* Resolve a pending fetch redirect once the blocking branch has
+     produced its outcome. *)
+  let redirect_stage () =
+    match !blocking with
+    | `None | `In_ifq -> ()
+    | `In_flight seq ->
+        let resolved =
+          (not (Ruu.in_flight ruu seq))
+          ||
+          let e = Ruu.get ruu seq in
+          e.Ruu.issued && e.Ruu.complete_at <= !now
+        in
+        if resolved then blocking := `None
+  in
+
+  let commit_stage () =
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue && !n < mconfig.Mconfig.commit_width
+          && not (Ruu.is_empty ruu) do
+      let e = Ruu.get ruu (Ruu.head_seq ruu) in
+      if e.Ruu.issued && e.Ruu.complete_at <= !now then begin
+        ignore (Ruu.pop ruu);
+        incr committed;
+        if e.Ruu.eid >= 0 then incr ext_committed;
+        incr n;
+        (* Prune retired stores. *)
+        while
+          (not (Queue.is_empty stores))
+          && (Queue.peek stores).st_seq < Ruu.head_seq ruu
+        do
+          ignore (Queue.pop stores)
+        done
+      end
+      else continue := false
+    done
+  in
+
+  (* Per-cycle functional-unit availability. *)
+  let issue_stage () =
+    let alu_free = ref mconfig.Mconfig.n_int_alu in
+    let mult_free = ref mconfig.Mconfig.n_int_mult in
+    let mem_free = ref mconfig.Mconfig.n_mem_ports in
+    let pfu_busy = Hashtbl.create 8 in
+    let issued = ref 0 in
+    let seq = ref (Ruu.head_seq ruu) in
+    while !issued < mconfig.Mconfig.issue_width && !seq < Ruu.tail_seq ruu do
+      let e = Ruu.get ruu !seq in
+      if entry_ready e then begin
+        let do_issue latency =
+          e.Ruu.issued <- true;
+          e.Ruu.complete_at <- !now + latency;
+          incr issued
+        in
+        (match Instr.fu_class e.Ruu.instr with
+        | Op.Fu_int_alu | Op.Fu_branch ->
+            if !alu_free > 0 then begin
+              decr alu_free;
+              do_issue (Instr.latency e.Ruu.instr)
+            end
+        | Op.Fu_int_mult | Op.Fu_int_div ->
+            if !mult_free > 0 then begin
+              decr mult_free;
+              do_issue (Instr.latency e.Ruu.instr)
+            end
+        | Op.Fu_mem_read ->
+            if !mem_free > 0 then begin
+              decr mem_free;
+              do_issue (Hierarchy.load_latency hier ~addr:e.Ruu.mem_addr)
+            end
+        | Op.Fu_mem_write ->
+            if !mem_free > 0 then begin
+              decr mem_free;
+              do_issue (Hierarchy.store_latency hier ~addr:e.Ruu.mem_addr)
+            end
+        | Op.Fu_pfu ->
+            if not (Hashtbl.mem pfu_busy e.Ruu.pfu_unit) then begin
+              Hashtbl.replace pfu_busy e.Ruu.pfu_unit ();
+              do_issue (ext_latency e.Ruu.eid);
+              Pfu_file.release pfus ~unit_id:e.Ruu.pfu_unit
+            end
+        | Op.Fu_none -> do_issue 1)
+      end;
+      incr seq
+    done
+  in
+
+  let dispatch_stage () =
+    let n = ref 0 in
+    let continue = ref true in
+    while !continue && !n < mconfig.Mconfig.decode_width
+          && not (Queue.is_empty ifq) do
+      if Ruu.is_full ruu then begin
+        incr ruu_full_stalls;
+        continue := false
+      end
+      else begin
+        let te, te_mispredicted = Queue.peek ifq in
+        (* Decode-stage configuration check for extended instructions. *)
+        let pfu_outcome =
+          match te.Trace.instr with
+          | Instr.Ext { eid; _ } ->
+              Some (Pfu_file.request pfus ~now:!now ~conf:eid)
+          | Instr.Cfgld eid ->
+              (* best-effort prefetch: start the load, never stall *)
+              Pfu_file.prefetch pfus ~now:!now ~conf:eid;
+              None
+          | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _
+          | Instr.Shift_reg _ | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _
+          | Instr.Mflo _ | Instr.Load _ | Instr.Store _ | Instr.Branch _
+          | Instr.Jump _ | Instr.Jal _ | Instr.Jr _ | Instr.Jalr _
+          | Instr.Nop | Instr.Halt ->
+              None
+        in
+        match pfu_outcome with
+        | Some Pfu_file.Stall -> continue := false
+        | (Some (Pfu_file.Ready _) | None) as outcome ->
+            ignore (Queue.pop ifq);
+            let e = Ruu.push ruu in
+            if te_mispredicted then blocking := `In_flight e.Ruu.seq;
+            e.Ruu.slot <- te.Trace.index;
+            e.Ruu.instr <- te.Trace.instr;
+            e.Ruu.mem_addr <- te.Trace.mem_addr;
+            (match outcome with
+            | Some (Pfu_file.Ready { unit_id; at; hit = _ }) ->
+                (match te.Trace.instr with
+                | Instr.Ext { eid; _ } -> e.Ruu.eid <- eid
+                | _ -> ());
+                e.Ruu.pfu_unit <- unit_id;
+                (* +1: configuration check happens at decode; issue is
+                   the next stage at the earliest. *)
+                e.Ruu.min_issue <- max at (!now + 1)
+            | Some Pfu_file.Stall -> assert false
+            | None -> e.Ruu.min_issue <- !now + 1);
+            (* Register dependences. *)
+            (match Instr.uses te.Trace.instr with
+            | [] -> ()
+            | [ r1 ] -> e.Ruu.dep1 <- producer.(r1)
+            | [ r1; r2 ] ->
+                e.Ruu.dep1 <- producer.(r1);
+                e.Ruu.dep2 <- producer.(r2)
+            | r1 :: r2 :: _ ->
+                e.Ruu.dep1 <- producer.(r1);
+                e.Ruu.dep2 <- producer.(r2));
+            (* Memory dependence: youngest older store to the same
+               word. *)
+            (match te.Trace.instr with
+            | Instr.Load _ ->
+                let widx = te.Trace.mem_addr lsr 2 in
+                Queue.iter
+                  (fun s ->
+                    if s.st_word = widx && Ruu.in_flight ruu s.st_seq then
+                      e.Ruu.dep3 <- s.st_seq)
+                  stores
+            | Instr.Store _ ->
+                Queue.push
+                  { st_seq = e.Ruu.seq; st_word = te.Trace.mem_addr lsr 2 }
+                  stores
+            | _ -> ());
+            List.iter
+              (fun d -> producer.(d) <- e.Ruu.seq)
+              (Instr.defs te.Trace.instr);
+            incr n
+      end
+    done
+  in
+
+  (* Predict a control instruction's next fetch index; returns whether
+     the prediction matches the actual dynamic successor.  Perfect
+     prediction always matches. *)
+  let predict_control (te : Trace.entry) ~actual_next =
+    match mconfig.Mconfig.branch_pred with
+    | Mconfig.Perfect -> true
+    | Mconfig.Bimodal n -> (
+        let fall = te.Trace.index + 1 in
+        match te.Trace.instr with
+        | Instr.Branch (_, _, _, target) ->
+            let idx = te.Trace.index land (n - 1) in
+            let taken_pred = counters.(idx) >= 2 in
+            let taken = actual_next <> fall in
+            if taken && counters.(idx) < 3 then
+              counters.(idx) <- counters.(idx) + 1;
+            if (not taken) && counters.(idx) > 0 then
+              counters.(idx) <- counters.(idx) - 1;
+            let predicted = if taken_pred then target else fall in
+            predicted = actual_next
+        | Instr.Jump target | Instr.Jal target ->
+            (* direct targets are always predicted correctly *)
+            target = actual_next
+        | Instr.Jr _ | Instr.Jalr _ ->
+            (* last-target buffer *)
+            let hit =
+              match Hashtbl.find_opt btb te.Trace.index with
+              | Some t -> t = actual_next
+              | None -> false
+            in
+            Hashtbl.replace btb te.Trace.index actual_next;
+            hit
+        | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _
+        | Instr.Shift_reg _ | Instr.Lui _ | Instr.Muldiv _ | Instr.Mfhi _
+        | Instr.Mflo _ | Instr.Load _ | Instr.Store _ | Instr.Ext _
+        | Instr.Cfgld _ | Instr.Nop | Instr.Halt ->
+            true)
+  in
+
+  let fetch_stage () =
+    if (!now < !fetch_resume || !blocking <> `None) && not !trace_done then
+      incr fetch_stall_cycles;
+    if !now >= !fetch_resume && !blocking = `None then begin
+      let n = ref 0 in
+      let continue = ref true in
+      while
+        !continue && !n < mconfig.Mconfig.fetch_width
+        && Queue.length ifq < mconfig.Mconfig.ifq_size
+      do
+        match peek () with
+        | None -> continue := false
+        | Some te ->
+            let addr = Encoding.address_of_index te.Trace.index in
+            let line = addr lsr line_shift in
+            if line <> !last_fetch_line then begin
+              let lat = Hierarchy.fetch_latency hier ~addr in
+              last_fetch_line := line;
+              if lat > l1_hit then begin
+                (* Instruction-cache miss: resume once the line arrives;
+                   the entry is not consumed this cycle. *)
+                fetch_resume := !now + (lat - l1_hit);
+                continue := false
+              end
+            end;
+            if !continue then begin
+              consume ();
+              if Instr.is_control te.Trace.instr then begin
+                let actual_next =
+                  match peek () with
+                  | Some nxt -> nxt.Trace.index
+                  | None -> te.Trace.index + 1
+                in
+                let correct = predict_control te ~actual_next in
+                if not correct then begin
+                  incr mispredicts;
+                  blocking := `In_ifq;
+                  Queue.push (te, true) ifq;
+                  continue := false
+                end
+                else begin
+                  Queue.push (te, false) ifq;
+                  incr n;
+                  (* fetch stops at a taken control transfer *)
+                  if actual_next <> te.Trace.index + 1 then continue := false
+                end
+              end
+              else begin
+                Queue.push (te, false) ifq;
+                incr n
+              end
+            end
+      done
+    end
+  in
+
+  let finished () =
+    !trace_done && !peeked = None && Queue.is_empty ifq && Ruu.is_empty ruu
+  in
+  (* Prime the lookahead so [finished] is meaningful for empty traces. *)
+  ignore (peek ());
+  while not (finished ()) do
+    if !now > mconfig.Mconfig.max_cycles then
+      failwith "Sim.run: max_cycles exceeded";
+    occupancy_sum := !occupancy_sum + Ruu.occupancy ruu;
+    redirect_stage ();
+    commit_stage ();
+    issue_stage ();
+    dispatch_stage ();
+    fetch_stage ();
+    incr now
+  done;
+  let mr c = Cache.miss_rate c and tr t = Tlb.miss_rate t in
+  {
+    Stats.cycles = !now;
+    committed = !committed;
+    ext_committed = !ext_committed;
+    ipc =
+      (if !now = 0 then 0.0
+       else float_of_int !committed /. float_of_int !now);
+    pfu_hits = Pfu_file.hits pfus;
+    pfu_misses = Pfu_file.misses pfus;
+    pfu_stalls = Pfu_file.stalls pfus;
+    ruu_full_stalls = !ruu_full_stalls;
+    branch_mispredicts = !mispredicts;
+    fetch_stall_cycles = !fetch_stall_cycles;
+    avg_ruu_occupancy =
+      (if !now = 0 then 0.0
+       else float_of_int !occupancy_sum /. float_of_int !now);
+    l1i_miss_rate = mr (Hierarchy.l1i hier);
+    l1d_miss_rate = mr (Hierarchy.l1d hier);
+    l2_miss_rate = mr (Hierarchy.l2 hier);
+    itlb_miss_rate = tr (Hierarchy.itlb hier);
+    dtlb_miss_rate = tr (Hierarchy.dtlb hier);
+  }

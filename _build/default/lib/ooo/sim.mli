@@ -1,0 +1,42 @@
+(** Cycle-level, trace-driven simulation of the T1000 core.
+
+    Pipeline model per cycle (walked back-to-front so that results
+    produced in cycle [c] can feed instructions issuing in cycle [c]
+    through the bypass network, and newly dispatched instructions issue
+    no earlier than the following cycle):
+
+    + {b commit} — up to [commit_width] completed entries leave the RUU
+      head in order;
+    + {b issue} — up to [issue_width] ready entries start execution,
+      oldest first, subject to functional-unit availability; loads and
+      stores probe the data cache here; extended instructions
+      additionally require their configuration to be loaded
+      ([min_issue]) and their PFU free this cycle;
+    + {b dispatch} — up to [decode_width] instructions move from the
+      fetch queue into the RUU; extended instructions perform the
+      decode-stage configuration check against the {!Pfu_file} (a miss
+      starts a reconfiguration; a fully pinned file stalls dispatch);
+      register and store-to-load dependences are recorded;
+    + {b fetch} — up to [fetch_width] instructions enter the fetch
+      queue, stopping at taken branches and stalling on instruction-
+      cache misses.  Branch prediction is perfect (paper Section 3.1),
+      so fetch follows the committed path exactly.
+
+    Memory disambiguation is perfect: effective addresses come from the
+    functional interpreter, and a load waits only for older in-flight
+    stores to the same word. *)
+
+open T1000_isa
+open T1000_asm
+open T1000_machine
+
+val run :
+  ?mconfig:Mconfig.t ->
+  ?ext_latency:(int -> int) ->
+  ?ext_eval:(int -> Word.t -> Word.t -> Word.t) ->
+  init:(Memory.t -> Regfile.t -> unit) ->
+  Program.t ->
+  Stats.t
+(** Simulate the program to completion.
+    @raise T1000_machine.Interp.Fault on architectural faults.
+    @raise Failure if [mconfig.max_cycles] is exceeded. *)

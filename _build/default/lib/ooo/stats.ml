@@ -1,0 +1,40 @@
+type t = {
+  cycles : int;
+  committed : int;
+  ext_committed : int;
+  ipc : float;
+  pfu_hits : int;
+  pfu_misses : int;
+  pfu_stalls : int;
+  ruu_full_stalls : int;
+  branch_mispredicts : int;
+  fetch_stall_cycles : int;
+  avg_ruu_occupancy : float;
+  l1i_miss_rate : float;
+  l1d_miss_rate : float;
+  l2_miss_rate : float;
+  itlb_miss_rate : float;
+  dtlb_miss_rate : float;
+}
+
+let speedup ~baseline t =
+  if t.cycles = 0 then 0.0
+  else float_of_int baseline.cycles /. float_of_int t.cycles
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles            %d@,\
+     committed         %d (%d extended)@,\
+     ipc               %.3f@,\
+     pfu hits/misses   %d / %d (stalls %d)@,\
+     ruu-full stalls   %d@,\
+     mispredicts       %d@,\
+     fetch stalls      %d cycles@,\
+     avg window        %.1f in flight@,\
+     miss rates        l1i %.3f%% l1d %.3f%% l2 %.3f%% itlb %.3f%% dtlb %.3f%%@]"
+    t.cycles t.committed t.ext_committed t.ipc t.pfu_hits t.pfu_misses
+    t.pfu_stalls t.ruu_full_stalls t.branch_mispredicts
+    t.fetch_stall_cycles t.avg_ruu_occupancy
+    (100. *. t.l1i_miss_rate)
+    (100. *. t.l1d_miss_rate) (100. *. t.l2_miss_rate)
+    (100. *. t.itlb_miss_rate) (100. *. t.dtlb_miss_rate)

@@ -1,0 +1,29 @@
+(** Simulation statistics. *)
+
+type t = {
+  cycles : int;
+  committed : int;  (** instructions committed (extended instructions
+                        count as one, as in the paper) *)
+  ext_committed : int;
+  ipc : float;
+  pfu_hits : int;
+  pfu_misses : int;  (** = reconfigurations *)
+  pfu_stalls : int;  (** dispatch stalls waiting for an unpinned PFU *)
+  ruu_full_stalls : int;  (** dispatch attempts blocked by a full RUU *)
+  branch_mispredicts : int;  (** always 0 under perfect prediction *)
+  fetch_stall_cycles : int;
+      (** cycles the fetch stage spent blocked on instruction-cache
+          misses or branch-redirect resolution *)
+  avg_ruu_occupancy : float;  (** mean in-flight instructions per cycle *)
+  l1i_miss_rate : float;
+  l1d_miss_rate : float;
+  l2_miss_rate : float;
+  itlb_miss_rate : float;
+  dtlb_miss_rate : float;
+}
+
+val speedup : baseline:t -> t -> float
+(** [baseline.cycles / t.cycles] — execution-time speedup as plotted in
+    the paper's figures. *)
+
+val pp : Format.formatter -> t -> unit

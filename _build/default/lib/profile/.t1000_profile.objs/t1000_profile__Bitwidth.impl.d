@@ -1,0 +1,1 @@
+lib/profile/bitwidth.ml: Array Format T1000_isa T1000_machine Trace Word

@@ -1,0 +1,1 @@
+lib/profile/bitwidth.mli: Format T1000_machine

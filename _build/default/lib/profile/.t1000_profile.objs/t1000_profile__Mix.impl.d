@@ -1,0 +1,1 @@
+lib/profile/mix.ml: Format Hashtbl Instr List Option Profile Program T1000_asm T1000_isa

@@ -1,0 +1,1 @@
+lib/profile/mix.mli: Format Profile Program T1000_asm T1000_isa

@@ -1,0 +1,1 @@
+lib/profile/profile.ml: Array Bitwidth Format Instr Interp Memory Program Regfile T1000_asm T1000_isa T1000_machine Trace

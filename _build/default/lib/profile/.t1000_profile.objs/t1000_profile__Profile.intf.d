@@ -1,0 +1,1 @@
+lib/profile/profile.mli: Bitwidth Format Memory Program Regfile T1000_asm T1000_isa T1000_machine

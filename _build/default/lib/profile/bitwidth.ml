@@ -1,0 +1,40 @@
+open T1000_isa
+open T1000_machine
+
+type t = {
+  res_w : int array;
+  opd_w : int array;
+  seen : bool array;
+}
+
+let create ~n_slots =
+  {
+    res_w = Array.make n_slots 0;
+    opd_w = Array.make n_slots 0;
+    seen = Array.make n_slots false;
+  }
+
+let record t (o : Trace.obs) =
+  let i = o.Trace.entry.Trace.index in
+  t.seen.(i) <- true;
+  let rw = Word.width_signed o.Trace.result in
+  if rw > t.res_w.(i) then t.res_w.(i) <- rw;
+  let ow =
+    max (Word.width_signed o.Trace.src1) (Word.width_signed o.Trace.src2)
+  in
+  if ow > t.opd_w.(i) then t.opd_w.(i) <- ow
+
+let executed t i = t.seen.(i)
+let result_width t i = if t.seen.(i) then t.res_w.(i) else 32
+let operand_width t i = if t.seen.(i) then t.opd_w.(i) else 32
+let instr_width t i = max (result_width t i) (operand_width t i)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i seen ->
+      if seen then
+        Format.fprintf ppf "%4d: opd<=%2d res<=%2d@," i t.opd_w.(i)
+          t.res_w.(i))
+    t.seen;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+(** Dynamic operand/result bitwidth profiling.
+
+    Reproduces the role of the paper's [sim_profile]-based tool
+    (Section 4): for every static instruction it tracks the maximum
+    two's-complement width of the register operands and of the result
+    over all executions.  The selection algorithms use these maxima both
+    to filter candidates (default: width <= 18 bits) and to size PFU
+    hardware ({!T1000_hwcost}). *)
+
+type t
+
+val create : n_slots:int -> t
+val record : t -> T1000_machine.Trace.obs -> unit
+(** Intended as an {!T1000_machine.Interp.set_observer} hook. *)
+
+val executed : t -> int -> bool
+(** Whether the slot ever executed. *)
+
+val result_width : t -> int -> int
+(** Max signed width of the result value of slot [i]; 32 if the slot
+    never executed (conservative). *)
+
+val operand_width : t -> int -> int
+(** Max signed width over both register operands; 32 if never
+    executed. *)
+
+val instr_width : t -> int -> int
+(** [max (result_width i) (operand_width i)] — the width used for
+    candidate filtering and hardware sizing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+open T1000_isa
+open T1000_asm
+
+type category =
+  | Cat_alu
+  | Cat_muldiv
+  | Cat_load
+  | Cat_store
+  | Cat_branch
+  | Cat_ext
+  | Cat_other
+
+let category = function
+  | Instr.Alu_rrr _ | Instr.Alu_rri _ | Instr.Shift_imm _ | Instr.Shift_reg _
+  | Instr.Lui _ | Instr.Mfhi _ | Instr.Mflo _ ->
+      Cat_alu
+  | Instr.Muldiv _ -> Cat_muldiv
+  | Instr.Load _ -> Cat_load
+  | Instr.Store _ -> Cat_store
+  | Instr.Branch _ | Instr.Jump _ | Instr.Jal _ | Instr.Jr _ | Instr.Jalr _ ->
+      Cat_branch
+  | Instr.Ext _ -> Cat_ext
+  | Instr.Cfgld _ | Instr.Nop | Instr.Halt -> Cat_other
+
+let category_name = function
+  | Cat_alu -> "alu"
+  | Cat_muldiv -> "muldiv"
+  | Cat_load -> "load"
+  | Cat_store -> "store"
+  | Cat_branch -> "branch"
+  | Cat_ext -> "ext"
+  | Cat_other -> "other"
+
+let all_categories =
+  [ Cat_alu; Cat_muldiv; Cat_load; Cat_store; Cat_branch; Cat_ext; Cat_other ]
+
+type t = {
+  counts : (category * int) list;
+  total : int;
+}
+
+let of_weights weight_of program =
+  let tbl = Hashtbl.create 8 in
+  let total = ref 0 in
+  Program.iteri
+    (fun i instr ->
+      let w = weight_of i in
+      if w > 0 then begin
+        let c = category instr in
+        Hashtbl.replace tbl c
+          (w + Option.value ~default:0 (Hashtbl.find_opt tbl c));
+        total := !total + w
+      end)
+    program;
+  {
+    counts =
+      List.map
+        (fun c -> (c, Option.value ~default:0 (Hashtbl.find_opt tbl c)))
+        all_categories;
+    total = !total;
+  }
+
+let static_mix program = of_weights (fun _ -> 1) program
+
+let dynamic_mix profile =
+  of_weights (Profile.count profile) (Profile.program profile)
+
+let fraction t c =
+  if t.total = 0 then 0.0
+  else
+    float_of_int (Option.value ~default:0 (List.assoc_opt c t.counts))
+    /. float_of_int t.total
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (c, n) ->
+      if n > 0 then
+        Format.fprintf ppf "%-8s %10d  (%5.1f%%)@," (category_name c) n
+          (100.0 *. fraction t c))
+    t.counts;
+  Format.fprintf ppf "total    %10d@]" t.total

@@ -1,0 +1,36 @@
+(** Instruction-mix statistics.
+
+    Static (per program) and dynamic (per profiled run) breakdowns by
+    instruction category — the first thing to look at when judging how
+    much of a workload extended instructions can possibly cover, and
+    the sanity check that the synthetic kernels resemble the media
+    codes they stand in for (ALU-heavy, moderate memory traffic). *)
+
+open T1000_asm
+
+(** Instruction categories. *)
+type category =
+  | Cat_alu  (** ALU, shifts, lui, mfhi/mflo *)
+  | Cat_muldiv
+  | Cat_load
+  | Cat_store
+  | Cat_branch  (** branches and jumps *)
+  | Cat_ext
+  | Cat_other  (** nop, halt *)
+
+val category : T1000_isa.Instr.t -> category
+val category_name : category -> string
+val all_categories : category list
+
+type t = {
+  counts : (category * int) list;  (** per category, in
+                                       {!all_categories} order *)
+  total : int;
+}
+
+val static_mix : Program.t -> t
+val dynamic_mix : Profile.t -> t
+(** Weighted by profiled execution counts. *)
+
+val fraction : t -> category -> float
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** Whole-program execution profile.
+
+    Runs a program to completion under the functional interpreter,
+    collecting per-static-instruction dynamic counts and bitwidth
+    maxima.  This is the input to both selection algorithms: the greedy
+    algorithm uses the bitwidth filter, the selective algorithm
+    additionally uses counts to estimate each candidate's share of total
+    application time (its "potential gain ratio", Figure 5). *)
+
+open T1000_asm
+open T1000_machine
+
+type t
+
+val collect :
+  ?max_steps:int ->
+  ?ext_eval:(int -> T1000_isa.Word.t -> T1000_isa.Word.t -> T1000_isa.Word.t) ->
+  init:(Memory.t -> Regfile.t -> unit) ->
+  Program.t ->
+  t
+(** Execute the program (with [init] preparing memory/registers) and
+    profile it.
+    @raise T1000_machine.Interp.Fault if it does not halt. *)
+
+val program : t -> Program.t
+val count : t -> int -> int
+(** Dynamic execution count of a static slot. *)
+
+val total_instrs : t -> int
+(** Total dynamic instruction count. *)
+
+val total_weight : t -> int
+(** Sum over dynamic instructions of base-machine latency — the
+    denominator of the selective algorithm's gain ratio (a serial proxy
+    for total application time, matching the paper's profile-based
+    estimate). *)
+
+val bitwidth : t -> Bitwidth.t
+
+val instr_width : t -> int -> int
+(** Shortcut for [Bitwidth.instr_width (bitwidth t) i]. *)
+
+val operand_width : t -> int -> int
+(** Shortcut for [Bitwidth.operand_width (bitwidth t) i] — the width used
+    for candidate filtering (the paper filters on operand bitwidth; the
+    result may legitimately grow wider, e.g. after shifts). *)
+
+val pp_hot : ?limit:int -> Format.formatter -> t -> unit
+(** The [limit] (default 20) hottest static instructions. *)

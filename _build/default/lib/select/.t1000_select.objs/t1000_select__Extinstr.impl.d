@@ -1,0 +1,1 @@
+lib/select/extinstr.ml: Array Buffer Canon Dfg Extract Format Hashtbl List Printf String T1000_dfg T1000_hwcost T1000_isa

@@ -1,0 +1,1 @@
+lib/select/extinstr.mli: Dfg Extract Format T1000_dfg T1000_isa Word

@@ -1,0 +1,1 @@
+lib/select/gain.mli: Dfg Extract Profile T1000_dfg T1000_profile

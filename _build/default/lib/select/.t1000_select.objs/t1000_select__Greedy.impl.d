@@ -1,0 +1,1 @@
+lib/select/greedy.ml: Extinstr Extract List T1000_dfg T1000_hwcost

@@ -1,0 +1,1 @@
+lib/select/greedy.mli: Cfg Extinstr Extract Liveness Profile T1000_asm T1000_dfg T1000_profile

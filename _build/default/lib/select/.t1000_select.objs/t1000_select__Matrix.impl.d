@@ -1,0 +1,1 @@
+lib/select/matrix.ml: Array Canon Dfg Extract Format Gain Hashtbl Int List Set T1000_dfg T1000_hwcost T1000_profile

@@ -1,0 +1,1 @@
+lib/select/matrix.mli: Cfg Extract Format Liveness Profile T1000_asm T1000_dfg T1000_profile

@@ -1,0 +1,1 @@
+lib/select/rewrite.ml: Array Extinstr Extract Instr List Program Reg T1000_asm T1000_dfg T1000_isa

@@ -1,0 +1,1 @@
+lib/select/rewrite.mli: Extinstr Program T1000_asm

@@ -1,0 +1,1 @@
+lib/select/selective.ml: Extinstr Extract Gain Hashtbl Int List Loops Matrix Set T1000_asm T1000_dfg T1000_hwcost

@@ -1,0 +1,1 @@
+lib/select/selective.mli: Cfg Extinstr Extract Liveness Loops Profile T1000_asm T1000_dfg T1000_profile

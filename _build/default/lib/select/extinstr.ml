@@ -1,0 +1,281 @@
+open T1000_dfg
+
+type entry = {
+  eid : int;
+  key : string;
+  dfg : Dfg.t;
+  latency : int;
+  lut_cost : int;
+  occs : Extract.occ list;
+}
+
+type t = { entries : entry array }
+
+let of_selection occs =
+  let order = ref [] in
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Extract.occ) ->
+      match Hashtbl.find_opt by_key o.Extract.key with
+      | None ->
+          Hashtbl.replace by_key o.Extract.key (o.Extract.dfg, [ o ]);
+          order := o.Extract.key :: !order
+      | Some (dfg, os) ->
+          let dfg = Canon.merge_widths dfg o.Extract.dfg in
+          Hashtbl.replace by_key o.Extract.key (dfg, o :: os))
+    occs;
+  let keys = List.rev !order in
+  let entries =
+    List.mapi
+      (fun eid key ->
+        let dfg, os = Hashtbl.find by_key key in
+        {
+          eid;
+          key;
+          dfg;
+          latency = 1;
+          lut_cost = T1000_hwcost.Lut.cost dfg;
+          occs = List.rev os;
+        })
+      keys
+  in
+  { entries = Array.of_list entries }
+
+let empty = { entries = [||] }
+let count t = Array.length t.entries
+
+let get t eid =
+  if eid < 0 || eid >= Array.length t.entries then
+    invalid_arg (Printf.sprintf "Extinstr.get: id %d" eid)
+  else t.entries.(eid)
+
+let entries t = Array.to_list t.entries
+let eval t eid v1 v2 = Dfg.eval (get t eid).dfg v1 v2
+
+let total_occurrences t =
+  Array.fold_left (fun acc e -> acc + List.length e.occs) 0 t.entries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d extended instructions@," (count t);
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf
+        "ext#%d: %d nodes, latency %d, %d LUTs, %d occurrence(s)@," e.eid
+        (Dfg.size e.dfg) e.latency e.lut_cost (List.length e.occs))
+    t.entries;
+  Format.fprintf ppf "@]"
+
+(* ---------- table files ---------- *)
+
+let operand_to_text = function
+  | Dfg.Input p -> Printf.sprintf "i%d" p
+  | Dfg.Const c -> Printf.sprintf "#%d" c
+  | Dfg.Node n -> Printf.sprintf "n%d" n
+
+let node_op_to_text = function
+  | Dfg.N_alu op -> T1000_isa.Op.alu_to_string op
+  | Dfg.N_shift op -> T1000_isa.Op.shift_to_string op
+
+let to_text t =
+  let buf = Buffer.create 512 in
+  let bpf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  bpf "# T1000 extended-instruction table: %d entries\n" (count t);
+  Array.iter
+    (fun e ->
+      bpf "ext %d inputs=%d latency=%d\n" e.eid (Dfg.n_inputs e.dfg)
+        e.latency;
+      Array.iter
+        (fun nd ->
+          bpf "  node %s a=%s b=%s w=%d\n" (node_op_to_text nd.Dfg.op)
+            (operand_to_text nd.Dfg.a) (operand_to_text nd.Dfg.b)
+            nd.Dfg.width)
+        (Dfg.nodes e.dfg);
+      List.iter
+        (fun (o : Extract.occ) ->
+          bpf "  occ block=%d root=%d members=%s out=r%d in=%s\n"
+            o.Extract.block o.Extract.root
+            (String.concat ","
+               (List.map string_of_int o.Extract.members))
+            (T1000_isa.Reg.to_int o.Extract.out_reg)
+            (String.concat ","
+               (List.map
+                  (fun r -> "r" ^ string_of_int (T1000_isa.Reg.to_int r))
+                  (Array.to_list o.Extract.input_regs))))
+        e.occs)
+    t.entries;
+  Buffer.contents buf
+
+exception Table_error of string
+
+let tfail fmt = Printf.ksprintf (fun s -> raise (Table_error s)) fmt
+
+let parse_operand tok =
+  if String.length tok < 2 then tfail "bad operand %S" tok
+  else
+    let rest = String.sub tok 1 (String.length tok - 1) in
+    match tok.[0] with
+    | 'i' -> Dfg.Input (int_of_string rest)
+    | '#' -> Dfg.Const (int_of_string rest)
+    | 'n' -> Dfg.Node (int_of_string rest)
+    | _ -> tfail "bad operand %S" tok
+
+let parse_node_op tok =
+  match tok with
+  | "add" -> Dfg.N_alu T1000_isa.Op.Add
+  | "addu" -> Dfg.N_alu T1000_isa.Op.Addu
+  | "sub" -> Dfg.N_alu T1000_isa.Op.Sub
+  | "subu" -> Dfg.N_alu T1000_isa.Op.Subu
+  | "and" -> Dfg.N_alu T1000_isa.Op.And
+  | "or" -> Dfg.N_alu T1000_isa.Op.Or
+  | "xor" -> Dfg.N_alu T1000_isa.Op.Xor
+  | "nor" -> Dfg.N_alu T1000_isa.Op.Nor
+  | "slt" -> Dfg.N_alu T1000_isa.Op.Slt
+  | "sltu" -> Dfg.N_alu T1000_isa.Op.Sltu
+  | "sll" -> Dfg.N_shift T1000_isa.Op.Sll
+  | "srl" -> Dfg.N_shift T1000_isa.Op.Srl
+  | "sra" -> Dfg.N_shift T1000_isa.Op.Sra
+  | _ -> tfail "bad node op %S" tok
+
+(* key=value fields on a line *)
+let fields tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          Some
+            ( String.sub tok 0 i,
+              String.sub tok (i + 1) (String.length tok - i - 1) )
+      | None -> None)
+    tokens
+
+let field name fs =
+  match List.assoc_opt name fs with
+  | Some v -> v
+  | None -> tfail "missing field %S" name
+
+let parse_reg tok =
+  if String.length tok >= 2 && tok.[0] = 'r' then
+    T1000_isa.Reg.of_int
+      (int_of_string (String.sub tok 1 (String.length tok - 1)))
+  else tfail "bad register %S" tok
+
+let split_ws s =
+  String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+let of_text text =
+  (* accumulate entries; within an entry, nodes then occurrences *)
+  let entries = ref [] in
+  let cur = ref None in
+  (* (eid, latency, n_inputs, nodes rev, occs rev) *)
+  let flush () =
+    match !cur with
+    | None -> ()
+    | Some (eid, latency, n_inputs, nodes, occs) ->
+        let dfg = Dfg.make ~n_inputs (Array.of_list (List.rev nodes)) in
+        let key = Canon.key dfg in
+        let occs =
+          List.rev_map
+            (fun (block, root, members, out_reg, input_regs) ->
+              {
+                Extract.block;
+                members;
+                root;
+                internal_edges = [];
+                dfg;
+                input_regs;
+                out_reg;
+                key;
+              })
+            occs
+        in
+        entries :=
+          {
+            eid;
+            key;
+            dfg;
+            latency;
+            lut_cost = T1000_hwcost.Lut.cost dfg;
+            occs;
+          }
+          :: !entries;
+        cur := None
+  in
+  try
+    String.split_on_char '\n' text
+    |> List.iteri (fun lineno line ->
+           try
+             (* '#' introduces a comment only at the start of a line
+                ('#' elsewhere marks constants) *)
+             let line =
+               let trimmed = String.trim line in
+               if String.length trimmed > 0 && trimmed.[0] = '#' then ""
+               else line
+             in
+             match split_ws line with
+             | [] -> ()
+             | "ext" :: eid :: rest ->
+                 flush ();
+                 let fs = fields rest in
+                 cur :=
+                   Some
+                     ( int_of_string eid,
+                       int_of_string (field "latency" fs),
+                       int_of_string (field "inputs" fs),
+                       [],
+                       [] )
+             | "node" :: op :: rest -> (
+                 match !cur with
+                 | None -> tfail "node outside an ext entry"
+                 | Some (eid, lat, n_inputs, nodes, occs) ->
+                     let fs = fields rest in
+                     let node =
+                       {
+                         Dfg.op = parse_node_op op;
+                         a = parse_operand (field "a" fs);
+                         b = parse_operand (field "b" fs);
+                         width = int_of_string (field "w" fs);
+                       }
+                     in
+                     cur := Some (eid, lat, n_inputs, node :: nodes, occs))
+             | "occ" :: rest -> (
+                 match !cur with
+                 | None -> tfail "occ outside an ext entry"
+                 | Some (eid, lat, n_inputs, nodes, occs) ->
+                     let fs = fields rest in
+                     let members =
+                       String.split_on_char ',' (field "members" fs)
+                       |> List.map int_of_string
+                     in
+                     let input_regs =
+                       match List.assoc_opt "in" fs with
+                       | None | Some "" -> [||]
+                       | Some s ->
+                           String.split_on_char ',' s
+                           |> List.map parse_reg |> Array.of_list
+                     in
+                     let occ =
+                       ( int_of_string (field "block" fs),
+                         int_of_string (field "root" fs),
+                         members,
+                         parse_reg (field "out" fs),
+                         input_regs )
+                     in
+                     cur := Some (eid, lat, n_inputs, nodes, occ :: occs))
+             | tok :: _ -> tfail "unexpected token %S" tok
+           with
+           | Table_error msg ->
+               raise
+                 (Table_error (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+           | Failure _ ->
+               raise
+                 (Table_error
+                    (Printf.sprintf "line %d: malformed number" (lineno + 1))));
+    flush ();
+    let arr =
+      Array.of_list (List.rev !entries)
+    in
+    Array.iteri
+      (fun i e -> if e.eid <> i then tfail "entry ids must be dense: %d" e.eid)
+      arr;
+    Ok { entries = arr }
+  with Table_error msg -> Error msg

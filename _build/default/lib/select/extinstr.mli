@@ -1,0 +1,60 @@
+(** Extended-instruction tables.
+
+    A table assigns an id (the [Conf] field of the encoding) to every
+    distinct PFU configuration chosen by a selection algorithm, merges
+    the profiled widths of occurrences that share a configuration, and
+    carries the occurrence list the rewriter will collapse.  It also
+    provides the evaluation callback the functional interpreter needs to
+    execute the rewritten program. *)
+
+open T1000_isa
+open T1000_dfg
+
+type entry = {
+  eid : int;  (** table index = configuration id *)
+  key : string;  (** canonical configuration key *)
+  dfg : Dfg.t;  (** normalized; node widths merged across occurrences *)
+  latency : int;  (** PFU execution latency (1, paper Section 3.1) *)
+  lut_cost : int;  (** LUT estimate at the merged widths *)
+  occs : Extract.occ list;  (** the sites rewritten to this entry *)
+}
+
+type t
+
+val of_selection : Extract.occ list -> t
+(** Group occurrences by canonical key.  Occurrence order is preserved
+    within an entry; entries are numbered in order of first
+    occurrence. *)
+
+val empty : t
+val count : t -> int
+val get : t -> int -> entry
+(** @raise Invalid_argument on a bad id. *)
+
+val entries : t -> entry list
+val eval : t -> int -> Word.t -> Word.t -> Word.t
+(** [eval t eid v1 v2]: evaluation callback for
+    {!T1000_machine.Interp.create}. *)
+
+val total_occurrences : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** {1 Table files}
+
+    The paper's simulator "takes as input ... object code files.  A
+    second input file specifies the instruction sequences that have
+    been selected as extended instructions" (Section 3.1).  These
+    functions implement that second file: a selection made once can be
+    saved and replayed against the program later (see the CLI's
+    [mine -o] / [replay]). *)
+
+val to_text : t -> string
+(** Line-oriented rendering of the table: one [ext] header per entry,
+    its dataflow nodes, and every occurrence with its member slots and
+    register bindings. *)
+
+val of_text : string -> (t, string) result
+(** Inverse of {!to_text}.  Occurrences are reconstructed with enough
+    information for {!Rewrite.apply} (members, root, registers);
+    containment edges, which only matter during selection, are not
+    preserved. *)

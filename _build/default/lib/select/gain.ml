@@ -1,0 +1,10 @@
+open T1000_profile
+open T1000_dfg
+
+let per_exec d = max 0 (Dfg.base_latency d - 1)
+let occ_count profile (o : Extract.occ) = Profile.count profile o.Extract.root
+let occ_gain profile o = occ_count profile o * per_exec o.Extract.dfg
+
+let ratio profile gain =
+  let total = Profile.total_weight profile in
+  if total = 0 then 0.0 else float_of_int gain /. float_of_int total

@@ -1,0 +1,27 @@
+(** Cycle-gain model for extended instructions.
+
+    The paper's example (Section 2.1): a sequence of three dependent
+    single-cycle operations executes in three cycles on the base machine
+    and one cycle on a PFU — a saving of two cycles per execution.  The
+    model generalizes that: per-execution gain is the sequence's
+    critical-path latency minus the PFU's single cycle, and an
+    occurrence's total gain weights this by the dynamic execution count
+    of its basic block. *)
+
+open T1000_profile
+open T1000_dfg
+
+val per_exec : Dfg.t -> int
+(** [Dfg.base_latency d - 1], never negative. *)
+
+val occ_count : Profile.t -> Extract.occ -> int
+(** Dynamic execution count of the occurrence (the count of its root
+    slot; all member slots of a basic block share one count). *)
+
+val occ_gain : Profile.t -> Extract.occ -> int
+(** Total cycles potentially saved by this occurrence over the run. *)
+
+val ratio : Profile.t -> int -> float
+(** Gain as a fraction of total application time ([Profile.total_weight]
+    as the serial-time proxy) — the quantity compared against the
+    selective algorithm's 0.5 % threshold. *)

@@ -1,0 +1,22 @@
+open T1000_dfg
+
+type result = {
+  table : Extinstr.t;
+  maximal : Extract.occ list;
+  rejected_lut : int;
+}
+
+let select ?(config = Extract.default_config)
+    ?(lut_budget = T1000_hwcost.Lut.default_budget) cfg live profile =
+  let maximal = Extract.maximal config cfg live profile in
+  let fits, rejected =
+    List.partition
+      (fun (o : Extract.occ) ->
+        T1000_hwcost.Lut.fits ~budget:lut_budget o.Extract.dfg)
+      maximal
+  in
+  {
+    table = Extinstr.of_selection fits;
+    maximal;
+    rejected_lut = List.length rejected;
+  }

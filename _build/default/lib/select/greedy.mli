@@ -1,0 +1,30 @@
+(** The greedy selection algorithm (paper Section 4).
+
+    Selects {e every} maximal candidate sequence that satisfies the
+    three criteria: members are profiled narrow-width ALU/shift
+    instructions, at most two register inputs and one output, and
+    maximal length.  The number of available PFUs and the
+    reconfiguration cost are deliberately ignored — with limited PFUs
+    this algorithm thrashes, which is precisely the behaviour Figure 2's
+    third bar demonstrates and the selective algorithm fixes. *)
+
+open T1000_asm
+open T1000_profile
+open T1000_dfg
+
+type result = {
+  table : Extinstr.t;
+  maximal : Extract.occ list;  (** all maximal occurrences found *)
+  rejected_lut : int;  (** occurrences dropped for exceeding the PFU's
+                           LUT budget *)
+}
+
+val select :
+  ?config:Extract.config ->
+  ?lut_budget:int ->
+  Cfg.t ->
+  Liveness.t ->
+  Profile.t ->
+  result
+(** Default extraction config is {!Extract.default_config}; default LUT
+    budget is {!T1000_hwcost.Lut.default_budget}. *)

@@ -1,0 +1,152 @@
+open T1000_dfg
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  keys : string array;
+  key_idx : (string, int) Hashtbl.t;
+  counts : int array array;
+  gains : int array;
+  luts : int array;
+  subs : Extract.occ list array;
+}
+
+(* Greedily pack disjoint occurrences, preferring larger matches (so a
+   maximal occurrence counts once on the diagonal rather than as several
+   of its own sub-matches). *)
+let pack matches =
+  let ordered =
+    List.sort
+      (fun (a : Extract.occ) (b : Extract.occ) ->
+        match
+          compare (List.length b.Extract.members)
+            (List.length a.Extract.members)
+        with
+        | 0 -> compare a.Extract.root b.Extract.root
+        | c -> c)
+      matches
+  in
+  let used = ref Int_set.empty in
+  List.filter
+    (fun (o : Extract.occ) ->
+      let slots = Int_set.of_list o.Extract.members in
+      if Int_set.is_empty (Int_set.inter slots !used) then begin
+        used := Int_set.union slots !used;
+        true
+      end
+      else false)
+    ordered
+
+let build config cfg live profile maximal_occs =
+  let per_m =
+    List.map
+      (fun (m : Extract.occ) ->
+        (m, Extract.subsequences config cfg live profile m))
+      maximal_occs
+  in
+  (* Distinct candidate keys, in first-appearance order. *)
+  let key_idx = Hashtbl.create 32 in
+  let keys_rev = ref [] in
+  let intern k =
+    match Hashtbl.find_opt key_idx k with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length key_idx in
+        Hashtbl.replace key_idx k i;
+        keys_rev := k :: !keys_rev;
+        i
+  in
+  List.iter
+    (fun ((m : Extract.occ), subs) ->
+      ignore (intern m.Extract.key);
+      List.iter (fun (s : Extract.occ) -> ignore (intern s.Extract.key)) subs)
+    per_m;
+  let k = Hashtbl.length key_idx in
+  let keys = Array.of_list (List.rev !keys_rev) in
+  let counts = Array.make_matrix k k 0 in
+  let gains = Array.make k 0 in
+  let subs = Array.make k [] in
+  let merged_dfg : Dfg.t option array = Array.make k None in
+  List.iter
+    (fun ((m : Extract.occ), msubs) ->
+      let j = Hashtbl.find key_idx m.Extract.key in
+      let m_count = T1000_profile.Profile.count profile m.Extract.root in
+      (* Group this maximal occurrence's matches by candidate key. *)
+      let by_key = Hashtbl.create 8 in
+      List.iter
+        (fun (s : Extract.occ) ->
+          let i = Hashtbl.find key_idx s.Extract.key in
+          Hashtbl.replace by_key i
+            (s
+            ::
+            (match Hashtbl.find_opt by_key i with
+            | Some l -> l
+            | None -> []));
+          subs.(i) <- s :: subs.(i);
+          merged_dfg.(i) <-
+            (match merged_dfg.(i) with
+            | None -> Some s.Extract.dfg
+            | Some d -> Some (Canon.merge_widths d s.Extract.dfg)))
+        msubs;
+      Hashtbl.iter
+        (fun i matches ->
+          let packed = List.length (pack matches) in
+          counts.(i).(j) <- counts.(i).(j) + packed;
+          let dfg =
+            match merged_dfg.(i) with Some d -> d | None -> assert false
+          in
+          gains.(i) <- gains.(i) + (packed * m_count * Gain.per_exec dfg))
+        by_key)
+    per_m;
+  let luts =
+    Array.map
+      (function
+        | Some d -> T1000_hwcost.Lut.cost d
+        | None -> 0)
+      merged_dfg
+  in
+  let subs =
+    Array.map
+      (fun l ->
+        List.sort
+          (fun (a : Extract.occ) (b : Extract.occ) ->
+            compare (a.Extract.root, a.Extract.members)
+              (b.Extract.root, b.Extract.members))
+          (List.rev l))
+      subs
+  in
+  { keys; key_idx; counts; gains; luts; subs }
+
+let size t = Array.length t.keys
+let keys t = Array.copy t.keys
+let index_of_key t k = Hashtbl.find_opt t.key_idx k
+let entry t i j = t.counts.(i).(j)
+let row_total t i = Array.fold_left ( + ) 0 t.counts.(i)
+let total_gain t i = t.gains.(i)
+let lut_cost t i = t.luts.(i)
+let sub_occs t i = t.subs.(i)
+
+let rank t =
+  let idx = List.init (size t) (fun i -> i) in
+  List.sort
+    (fun a b ->
+      match compare t.gains.(b) t.gains.(a) with
+      | 0 -> (
+          match compare t.luts.(a) t.luts.(b) with
+          | 0 -> compare a b
+          | c -> c)
+      | c -> c)
+    idx
+  |> List.map (fun i -> (i, t.gains.(i)))
+
+let pp ppf t =
+  let k = size t in
+  Format.fprintf ppf "@[<v>containment matrix (k=%d)@," k;
+  for i = 0 to k - 1 do
+    Format.fprintf ppf "%2d |" i;
+    for j = 0 to k - 1 do
+      Format.fprintf ppf " %3d" t.counts.(i).(j)
+    done;
+    Format.fprintf ppf "  gain=%d luts=%d@," t.gains.(i) t.luts.(i)
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,60 @@
+(** The selective algorithm's containment matrix (paper Section 5.1,
+    Figures 3-4).
+
+    For one loop, the candidate list is every distinct valid sequence —
+    maximal sequences {e and} their subsequences.  The list is organized
+    as a k x k matrix whose [I,J] entry counts appearances of candidate
+    I within the maximal occurrences of candidate J throughout the loop;
+    the [I,I] entry counts I's own maximal appearances.  The row sum is
+    I's total appearance count, and weighting each appearance by its
+    block's dynamic execution count and I's per-execution cycle gain
+    yields the total gain used to rank candidates.
+
+    Appearances inside one maximal occurrence are packed disjointly
+    (overlapping matches of the same candidate cannot all be rewritten),
+    so counts never overstate what the rewriter can realize. *)
+
+open T1000_asm
+open T1000_profile
+open T1000_dfg
+
+type t
+
+val build :
+  Extract.config ->
+  Cfg.t ->
+  Liveness.t ->
+  Profile.t ->
+  Extract.occ list ->
+  t
+(** [build config cfg live profile maximal_occs_of_loop]. *)
+
+val size : t -> int
+(** k — number of distinct candidate sequences. *)
+
+val keys : t -> string array
+val index_of_key : t -> string -> int option
+
+val entry : t -> int -> int -> int
+(** Static containment count [I,J]. *)
+
+val row_total : t -> int -> int
+(** Total appearances of candidate I in the loop. *)
+
+val total_gain : t -> int -> int
+(** Dynamic cycles saved if candidate I alone were implemented and every
+    one of its packed appearances rewritten. *)
+
+val lut_cost : t -> int -> int
+(** LUT cost of candidate I (at merged widths). *)
+
+val sub_occs : t -> int -> Extract.occ list
+(** Every valid (unpacked) occurrence of candidate I across the loop's
+    maximal occurrences, ascending root order.  The rewriter packs
+    jointly across the chosen candidates. *)
+
+val rank : t -> (int * int) list
+(** Candidates as [(index, total_gain)], best gain first (ties: smaller
+    LUT cost, then smaller index). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+open T1000_isa
+open T1000_asm
+open T1000_dfg
+
+type result = {
+  program : Program.t;
+  collapsed : int;
+  skipped : int;
+  deleted_slots : int;
+  prefetches_inserted : int;
+}
+
+let apply ?(prefetch = []) program table =
+  let n = Program.length program in
+  let claimed = Array.make n false in
+  let delete = Array.make n false in
+  let replace : Instr.t option array = Array.make n None in
+  let collapsed = ref 0 and skipped = ref 0 in
+  (* Gather (eid, occ) pairs, ascending root order for determinism. *)
+  let sites =
+    List.concat_map
+      (fun (e : Extinstr.entry) ->
+        List.map (fun o -> (e.Extinstr.eid, o)) e.Extinstr.occs)
+      (Extinstr.entries table)
+    |> List.sort (fun (_, (a : Extract.occ)) (_, (b : Extract.occ)) ->
+           compare (a.Extract.root, a.Extract.members)
+             (b.Extract.root, b.Extract.members))
+  in
+  List.iter
+    (fun (eid, (o : Extract.occ)) ->
+      List.iter
+        (fun s ->
+          if s < 0 || s >= n then
+            invalid_arg "Rewrite.apply: occurrence slot out of range")
+        o.Extract.members;
+      if List.exists (fun s -> claimed.(s)) o.Extract.members then
+        incr skipped
+      else begin
+        incr collapsed;
+        List.iter
+          (fun s ->
+            claimed.(s) <- true;
+            if s <> o.Extract.root then delete.(s) <- true)
+          o.Extract.members;
+        let port i =
+          if i < Array.length o.Extract.input_regs then
+            o.Extract.input_regs.(i)
+          else Reg.zero
+        in
+        replace.(o.Extract.root) <-
+          Some
+            (Instr.Ext
+               {
+                 eid;
+                 dst = o.Extract.out_reg;
+                 src1 = port 0;
+                 src2 = port 1;
+               })
+      end)
+    sites;
+  (* Configuration-prefetch hints: cfgld instructions inserted before
+     the given (pre-rewrite) slots. *)
+  let inserts : int list array = Array.make n [] in
+  List.iter
+    (fun (slot, eid) ->
+      if slot < 0 || slot >= n then
+        invalid_arg "Rewrite.apply: prefetch slot out of range";
+      inserts.(slot) <- inserts.(slot) @ [ eid ])
+    (List.sort_uniq compare prefetch);
+  (* Old-slot -> new-slot mapping: kept slots strictly before, plus every
+     insertion at or before the slot (so a branch to the slot skips the
+     hints inserted in front of it). *)
+  let kept_before = Array.make (n + 1) 0 in
+  let inserts_through = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    kept_before.(i + 1) <- kept_before.(i) + if delete.(i) then 0 else 1;
+    inserts_through.(i + 1) <- inserts_through.(i) + List.length inserts.(i)
+  done;
+  let remap old = kept_before.(old) + inserts_through.(old + 1) in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if not delete.(i) then begin
+      let instr =
+        match replace.(i) with Some e -> e | None -> Program.get program i
+      in
+      out := Instr.map_targets remap instr :: !out
+    end;
+    out := List.map (fun eid -> Instr.Cfgld eid) inserts.(i) @ !out
+  done;
+  let deleted_slots = n - kept_before.(n) in
+  {
+    program =
+      Program.make
+        ~name:(Program.name program ^ "+ext")
+        (Array.of_list !out);
+    collapsed = !collapsed;
+    skipped = !skipped;
+    deleted_slots;
+    prefetches_inserted = inserts_through.(n);
+  }

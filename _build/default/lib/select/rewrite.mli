@@ -1,0 +1,34 @@
+(** Program rewriting: collapse selected occurrences into extended
+    instructions.
+
+    Each occurrence's root slot is replaced by an [Ext] instruction
+    (destination and input registers from the occurrence, id from the
+    table entry) and its other member slots are removed.  Branch and
+    jump targets are remapped; a deleted branch target resolves to the
+    next surviving slot, which is always correct because deleted members
+    are interior to a basic block except possibly its first slots —
+    control entering the block must reach the first surviving
+    instruction.
+
+    Occurrences are applied in ascending root order; any occurrence
+    overlapping an already-applied one is skipped (the selection
+    normally guarantees disjointness; the check makes rewriting total). *)
+
+open T1000_asm
+
+type result = {
+  program : Program.t;  (** the rewritten program *)
+  collapsed : int;  (** occurrences actually rewritten *)
+  skipped : int;  (** occurrences skipped because of overlap *)
+  deleted_slots : int;  (** instructions removed *)
+  prefetches_inserted : int;  (** [cfgld] hints added *)
+}
+
+val apply : ?prefetch:(int * int) list -> Program.t -> Extinstr.t -> result
+(** [prefetch] lists [(slot, eid)] pairs: a [cfgld eid] hint is inserted
+    immediately {e before} the given (pre-rewrite) slot.  Because branch
+    targets are remapped to the slot itself, a hint placed before a loop
+    header executes only on fall-through entry — i.e. in the loop
+    preheader — not on every back edge.
+    @raise Invalid_argument if an occurrence or prefetch references
+    slots outside the program. *)

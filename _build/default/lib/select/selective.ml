@@ -1,0 +1,142 @@
+open T1000_asm
+open T1000_dfg
+
+module Int_set = Set.Make (Int)
+
+type params = {
+  extract : Extract.config;
+  gain_threshold : float;
+  lut_budget : int;
+}
+
+let default_params =
+  {
+    extract = Extract.default_config;
+    gain_threshold = 0.005;
+    lut_budget = T1000_hwcost.Lut.default_budget;
+  }
+
+type report = {
+  table : Extinstr.t;
+  n_maximal : int;
+  n_hot : int;
+  n_loops_capped : int;
+}
+
+(* Total gain per distinct candidate key over a set of occurrences. *)
+let gains_by_key profile occs =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (o : Extract.occ) ->
+      let g = Gain.occ_gain profile o in
+      Hashtbl.replace tbl o.Extract.key
+        (g
+        +
+        match Hashtbl.find_opt tbl o.Extract.key with
+        | Some g0 -> g0
+        | None -> 0))
+    occs;
+  tbl
+
+let select ?(params = default_params) ~n_pfus cfg loops live profile =
+  let maximal0 = Extract.maximal params.extract cfg live profile in
+  let maximal =
+    List.filter
+      (fun (o : Extract.occ) ->
+        T1000_hwcost.Lut.fits ~budget:params.lut_budget o.Extract.dfg)
+      maximal0
+  in
+  (* Step 1-2: gain threshold over distinct candidates. *)
+  let key_gain = gains_by_key profile maximal in
+  let hot_key k =
+    match Hashtbl.find_opt key_gain k with
+    | None -> false
+    | Some g -> Gain.ratio profile g >= params.gain_threshold
+  in
+  let hot = List.filter (fun (o : Extract.occ) -> hot_key o.Extract.key) maximal in
+  let distinct_keys occs =
+    List.sort_uniq compare (List.map (fun (o : Extract.occ) -> o.Extract.key) occs)
+  in
+  let n_hot = List.length (distinct_keys hot) in
+  let n_loops_capped = ref 0 in
+  let selection =
+    match n_pfus with
+    | None -> hot
+    | Some n when n_hot <= n -> hot
+    | Some n ->
+        (* Step 4: loop bodies one at a time. *)
+        let groups = Hashtbl.create 8 in
+        (* innermost loop index (or -1) -> occ list *)
+        List.iter
+          (fun (o : Extract.occ) ->
+            let l =
+              match Loops.innermost_at_instr loops o.Extract.root with
+              | Some i -> i
+              | None -> -1
+            in
+            Hashtbl.replace groups l
+              (o
+              ::
+              (match Hashtbl.find_opt groups l with
+              | Some os -> os
+              | None -> [])))
+          hot;
+        let chosen = ref [] in
+        Hashtbl.iter
+          (fun l occs ->
+            let occs = List.rev occs in
+            if l < 0 || List.length (distinct_keys occs) <= n then
+              chosen := occs @ !chosen
+            else begin
+              incr n_loops_capped;
+              (* Matrix step: rank candidates (subsequences included) and
+                 keep the n best, then pack their occurrences jointly. *)
+              let m = Matrix.build params.extract cfg live profile occs in
+              let ranked =
+                List.filter
+                  (fun (i, g) ->
+                    g > 0 && Matrix.lut_cost m i <= params.lut_budget)
+                  (Matrix.rank m)
+              in
+              (* Walk the ranking, packing occurrences as we go; a
+                 candidate only consumes one of the n configuration
+                 slots if it claims at least one occurrence not already
+                 covered by a better candidate. *)
+              let used = ref Int_set.empty in
+              let n_chosen = ref 0 in
+              List.iter
+                (fun (i, _) ->
+                  if !n_chosen < n then begin
+                    let claimed = ref false in
+                    let staged = ref [] in
+                    let staged_slots = ref Int_set.empty in
+                    List.iter
+                      (fun (s : Extract.occ) ->
+                        let slots = Int_set.of_list s.Extract.members in
+                        if
+                          Int_set.is_empty
+                            (Int_set.inter slots
+                               (Int_set.union !used !staged_slots))
+                        then begin
+                          staged_slots := Int_set.union slots !staged_slots;
+                          staged := s :: !staged;
+                          claimed := true
+                        end)
+                      (Matrix.sub_occs m i);
+                    if !claimed then begin
+                      incr n_chosen;
+                      used := Int_set.union !used !staged_slots;
+                      chosen := !staged @ !chosen
+                    end
+                  end)
+                ranked
+            end)
+          groups;
+        List.rev !chosen
+  in
+  {
+    table = Extinstr.of_selection selection;
+    n_maximal = List.length maximal0;
+    n_hot;
+    n_loops_capped = !n_loops_capped;
+  }

@@ -1,0 +1,52 @@
+(** The selective algorithm for choosing extended instructions —
+    the paper's main contribution (Section 5, Figure 5).
+
+    Steps, following the flow chart:
+
+    + Profile the program and extract maximal candidate sequences.
+    + Compute each distinct candidate's potential gain; keep those
+      responsible for at least [gain_threshold] (default 0.5 %) of total
+      application time.  Call their number N.
+    + If N fits the PFU count, select them all.
+    + Otherwise consider loop bodies one at a time (innermost loop of
+      each occurrence).  In a loop with more distinct candidates than
+      PFUs, build the containment {!Matrix} over the loop's maximal
+      sequences and their subsequences and choose the [n_pfus] best
+      candidates by total gain — which may prefer a common subsequence
+      over several maximal sequences, exactly the Figure 3 trade.
+    + Occurrences of the chosen candidates are packed disjointly and
+      handed to the rewriter.
+
+    The per-loop cap is what prevents PFU thrashing: within any one
+    loop at most [n_pfus] distinct configurations are live, so
+    steady-state iterations reconfigure nothing. *)
+
+open T1000_asm
+open T1000_profile
+open T1000_dfg
+
+type params = {
+  extract : Extract.config;
+  gain_threshold : float;  (** fraction of total time; paper: 0.005 *)
+  lut_budget : int;
+}
+
+val default_params : params
+
+type report = {
+  table : Extinstr.t;  (** the selection, ready for {!Rewrite.apply} *)
+  n_maximal : int;  (** maximal occurrences considered *)
+  n_hot : int;  (** distinct candidates above the gain threshold *)
+  n_loops_capped : int;
+      (** loops where the matrix step had to reduce the candidate set *)
+}
+
+val select :
+  ?params:params ->
+  n_pfus:int option ->
+  Cfg.t ->
+  Loops.t ->
+  Liveness.t ->
+  Profile.t ->
+  report
+(** [n_pfus = None] models unlimited PFUs (no per-loop cap). *)

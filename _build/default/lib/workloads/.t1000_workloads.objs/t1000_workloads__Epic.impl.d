@@ -1,0 +1,1 @@
+lib/workloads/epic.ml: Builder Kit Printf Reg T1000_asm T1000_isa Workload

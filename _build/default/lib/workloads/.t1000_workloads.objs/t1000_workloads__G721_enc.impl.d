@@ -1,0 +1,1 @@
+lib/workloads/g721_enc.ml: Array Builder Kit Reg T1000_asm T1000_isa Workload

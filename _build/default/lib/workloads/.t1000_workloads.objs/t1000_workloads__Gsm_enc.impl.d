@@ -1,0 +1,1 @@
+lib/workloads/gsm_enc.ml: Array Builder Kit Reg T1000_asm T1000_isa Workload

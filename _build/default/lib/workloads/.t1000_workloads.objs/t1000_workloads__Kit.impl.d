@@ -1,0 +1,1 @@
+lib/workloads/kit.ml: Array Memory T1000_machine

@@ -1,0 +1,1 @@
+lib/workloads/kit.mli: Memory T1000_machine

@@ -1,0 +1,1 @@
+lib/workloads/mpeg2_enc.ml: Builder Kit Reg T1000_asm T1000_isa Workload

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Epic G721_dec G721_enc Gsm_dec Gsm_enc List Mpeg2_dec Mpeg2_enc String Unepic Workload

@@ -1,0 +1,1 @@
+lib/workloads/unepic.ml: Array Builder Kit Reg T1000_asm T1000_isa Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Char Memory Program Regfile String T1000_asm T1000_machine

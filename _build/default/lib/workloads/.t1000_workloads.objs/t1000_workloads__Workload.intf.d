@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Memory Program Regfile T1000_asm T1000_machine

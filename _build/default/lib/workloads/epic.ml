@@ -1,0 +1,90 @@
+(* EPIC-like image-pyramid kernel.
+
+   Four pyramid levels, each a separate loop combining adjacent samples
+   into smoothed/edge/coarse bands.  Every level uses different shift
+   amounts and masks, so its three chains get distinct PFU
+   configurations: twelve distinct extended instructions total, three
+   live per loop - with two PFUs the greedy algorithm thrashes inside
+   every level, while the selective algorithm keeps each level's two
+   most profitable chains.  Wide mixing arithmetic and a running
+   checksum dilute the foldable fraction to a mid-range speedup. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096 (* halfword samples at the finest level *)
+let passes = 3
+let out_len = 3 * n
+
+(* One pyramid level: distinct constants give distinct configurations. *)
+let emit_level b ~level ~count ~sh_a ~mask_a ~sh_b ~xor_b ~xor_c =
+  let loop = Printf.sprintf "level%d" level in
+  Builder.li b R.t0 count;
+  Builder.move b R.t1 R.a0;
+  Builder.move b R.t2 R.a1;
+  Builder.label b loop;
+  Builder.lh b R.t3 0 R.t1;
+  Builder.lh b R.t4 2 R.t1;
+  (* chain A (3 ops): smoothed band *)
+  Builder.sll b R.t5 R.t3 sh_a;
+  Builder.addu b R.t5 R.t5 R.t4;
+  Builder.andi b R.t6 R.t5 mask_a;
+  (* chain B (3 ops): edge band *)
+  Builder.subu b R.t5 R.t3 R.t4;
+  Builder.sll b R.t5 R.t5 sh_b;
+  Builder.xori b R.t7 R.t5 xor_b;
+  (* chain C (2 ops): coarse band *)
+  Builder.sra b R.t5 R.t3 1;
+  Builder.xori b R.t8 R.t5 xor_c;
+  (* non-foldable work: wide mixing and checksum *)
+  Builder.sll b R.v0 R.t6 16;
+  Builder.or_ b R.v0 R.v0 R.t7;
+  Builder.addu b R.s3 R.s3 R.v0;
+  Builder.mult b R.t3 R.t4;
+  Builder.mflo b R.v1;
+  Builder.addu b R.s4 R.s4 R.v1;
+  Builder.addu b R.s5 R.s5 R.t8;
+  Builder.sh b R.t6 0 R.t2;
+  Builder.sh b R.t7 2 R.t2;
+  Builder.sh b R.t8 4 R.t2;
+  Builder.addiu b R.t1 R.t1 4;
+  Builder.addiu b R.t2 R.t2 6;
+  Builder.addiu b R.t0 R.t0 (-2);
+  Builder.bgtz b R.t0 loop
+
+let program =
+  let b = Builder.create ~name:"epic" () in
+  Builder.li b R.a0 Kit.src_base;
+  Builder.li b R.a1 Kit.out_base;
+  Builder.li b R.s0 passes;
+  Builder.li b R.s3 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s4 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s5 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.label b "pass";
+  emit_level b ~level:0 ~count:n ~sh_a:2 ~mask_a:0xFFF ~sh_b:1 ~xor_b:0x55
+    ~xor_c:0xF;
+  emit_level b ~level:1 ~count:(n / 2) ~sh_a:3 ~mask_a:0x7FF ~sh_b:2
+    ~xor_b:0x33 ~xor_c:0x1D;
+  emit_level b ~level:2 ~count:(n / 4) ~sh_a:1 ~mask_a:0x1FFF ~sh_b:3
+    ~xor_b:0x69 ~xor_c:0x2B;
+  emit_level b ~level:3 ~count:(n / 8) ~sh_a:4 ~mask_a:0x3FF ~sh_b:1
+    ~xor_b:0x47 ~xor_c:0x31;
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_halfwords mem Kit.src_base
+    (Kit.xorshift ~seed:0xE51C ~n ~mask:0x7FF)
+
+let workload =
+  {
+    Workload.name = "epic";
+    description = "4-level pyramid decomposition (12 distinct 3/3/2-op chains)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

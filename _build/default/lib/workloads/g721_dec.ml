@@ -1,0 +1,84 @@
+(* G.721 ADPCM decoder-like kernel.
+
+   Dominated by table lookups, multiplies, branchy sign handling and
+   clamping - very little of the loop is foldable (one 2-op index
+   chain), so the speedup is the smallest of the suite, matching the
+   paper's 4.5% for g721_decode. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096 (* 4-bit codes, one per byte *)
+let passes = 4
+let table_len = 16
+let out_len = 2 * n
+
+let program =
+  let b = Builder.create ~name:"g721_dec" () in
+  Builder.li b R.a0 Kit.src_base;
+  Builder.li b R.a1 Kit.out_base;
+  Builder.li b R.a2 Kit.aux_base (* step table *);
+  Builder.li b R.s0 passes;
+  Builder.label b "pass";
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a0;
+  Builder.move b R.t2 R.a1;
+  Builder.li b R.s1 0 (* predictor state *);
+  Builder.label b "inner";
+  Builder.lbu b R.t3 0 R.t1;
+  (* index chain (2 ops): magnitude bits -> table offset *)
+  Builder.andi b R.t4 R.t3 0x07;
+  Builder.sll b R.t5 R.t4 1;
+  Builder.addu b R.t5 R.a2 R.t5 (* wide: address *);
+  Builder.lh b R.t6 0 R.t5 (* step size *);
+  (* difference via multiply (not foldable) *)
+  Builder.addiu b R.t7 R.t3 1;
+  Builder.mult b R.t6 R.t7;
+  Builder.mflo b R.t8;
+  Builder.sra b R.t8 R.t8 3;
+  (* sign handling *)
+  Builder.andi b R.t9 R.t3 0x08;
+  Builder.beq b R.t9 R.zero "positive";
+  (* negative arm: 2-op scaled update chain *)
+  Builder.addiu b R.v0 R.t8 33;
+  Builder.subu b R.s1 R.s1 R.v0;
+  Builder.j b "clamp";
+  Builder.label b "positive";
+  (* positive arm: a distinct 2-op chain *)
+  Builder.xori b R.v0 R.t8 0x11;
+  Builder.addu b R.s1 R.s1 R.v0;
+  Builder.label b "clamp";
+  Builder.slti b R.v0 R.s1 2048;
+  Builder.bne b R.v0 R.zero "no_hi";
+  Builder.li b R.s1 2047;
+  Builder.label b "no_hi";
+  Builder.addiu b R.v1 R.s1 2048;
+  Builder.bgez b R.v1 "no_lo";
+  Builder.li b R.s1 (-2048);
+  Builder.label b "no_lo";
+  Builder.sh b R.s1 0 R.t2;
+  Builder.addiu b R.t1 R.t1 1;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "inner";
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_bytes mem Kit.src_base (Kit.xorshift ~seed:0x6721 ~n ~mask:0xFF);
+  (* exponential-ish step table, 16 halfwords *)
+  Kit.store_halfwords mem Kit.aux_base
+    (Array.init table_len (fun i -> 16 + (i * i * 7)))
+
+let workload =
+  {
+    Workload.name = "g721_dec";
+    description = "ADPCM decode (table lookups, mult, branchy clamp)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

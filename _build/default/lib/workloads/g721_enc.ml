@@ -1,0 +1,102 @@
+(* G.721 ADPCM encoder-like kernel.
+
+   The encoder adds a quantization step to the decoder's predictor
+   loop: one 4-op quantize chain and one 2-op index chain fold, the
+   rest (table lookup, multiply, sign logic, state update) does not -
+   a small-speedup benchmark, slightly above its decoder. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096
+let passes = 4
+let table_len = 16
+let out_len = 3 * n
+
+let program =
+  let b = Builder.create ~name:"g721_enc" () in
+  Builder.li b R.a0 Kit.src_base;
+  Builder.li b R.a1 Kit.out_base;
+  Builder.li b R.a2 Kit.aux_base;
+  Builder.li b R.s0 passes;
+  Builder.li b R.s2 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.label b "pass";
+  (* --- pre-emphasis loop: flatten the spectrum before coding --- *)
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a0;
+  Builder.li b R.t2 (Kit.out_base + n);
+  Builder.label b "preemph";
+  Builder.lh b R.t3 0 R.t1;
+  Builder.lh b R.t4 2 R.t1;
+  (* emphasis chain (3 ops) *)
+  Builder.sra b R.t5 R.t4 2;
+  Builder.subu b R.t5 R.t3 R.t5;
+  Builder.andi b R.t6 R.t5 0x1FFF;
+  (* dither chain (2 ops) *)
+  Builder.xori b R.t5 R.t3 0x155;
+  Builder.sra b R.t7 R.t5 3;
+  Builder.addu b R.s2 R.s2 R.t7;
+  Builder.sh b R.t6 0 R.t2;
+  Builder.addiu b R.t1 R.t1 2;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t0 R.t0 (-2);
+  Builder.bgtz b R.t0 "preemph";
+  (* --- ADPCM loop over the pre-emphasized samples --- *)
+  Builder.li b R.t0 n;
+  Builder.li b R.t1 (Kit.out_base + n);
+  Builder.move b R.t2 R.a1;
+  Builder.li b R.s1 0 (* predictor *);
+  Builder.label b "inner";
+  Builder.lh b R.t3 0 R.t1 (* pre-emphasized sample *);
+  (* prediction error (not foldable: s1 feeds branches below too) *)
+  Builder.subu b R.t4 R.t3 R.s1;
+  (* quantize chain (3 ops): inputs t4 *)
+  Builder.sra b R.t5 R.t4 2;
+  Builder.xori b R.t5 R.t5 0x21;
+  Builder.andi b R.t6 R.t5 0xFF;
+  (* second consumer of the quantized value keeps the chains separate *)
+  Builder.addu b R.s2 R.s2 R.t6;
+  (* index chain (2 ops) *)
+  Builder.andi b R.t7 R.t6 0x07;
+  Builder.sll b R.t8 R.t7 1;
+  Builder.addu b R.t8 R.a2 R.t8;
+  Builder.lh b R.t9 0 R.t8 (* step *);
+  (* reconstruct via multiply *)
+  Builder.mult b R.t9 R.t6;
+  Builder.mflo b R.v0;
+  Builder.sra b R.v0 R.v0 4;
+  (* sign-dependent state update *)
+  Builder.bltz b R.t4 "negative";
+  Builder.addu b R.s1 R.s1 R.v0;
+  Builder.j b "store";
+  Builder.label b "negative";
+  Builder.subu b R.s1 R.s1 R.v0;
+  Builder.label b "store";
+  Builder.andi b R.v1 R.s1 0xFFF (* bounded state for next iteration *);
+  Builder.move b R.s1 R.v1;
+  Builder.sb b R.t6 0 R.t2;
+  Builder.addiu b R.t1 R.t1 2;
+  Builder.addiu b R.t2 R.t2 1;
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "inner";
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_halfwords mem Kit.src_base
+    (Kit.xorshift ~seed:0x6722 ~n ~mask:0x7FF);
+  Kit.store_halfwords mem Kit.aux_base
+    (Array.init table_len (fun i -> 12 + (i * i * 5)))
+
+let workload =
+  {
+    Workload.name = "g721_enc";
+    description = "ADPCM encode (4-op quantize + 2-op index chains)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

@@ -1,0 +1,119 @@
+(* GSM decoder-like kernel (short-term synthesis + postfilter).
+
+   The synthesis loop carries an 8-op predictor chain through the
+   filter state plus a 4-op and a 3-op chain per sample; a separate
+   postfilter loop adds three more distinct chains.  The highest
+   foldable fraction of the suite - this is the gsm_decode of the
+   paper's Figure 2, with the largest speedup (paper: 44%). *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096 (* halfword samples *)
+let passes = 3
+let out_len = (3 * n) + n
+
+let program =
+  let b = Builder.create ~name:"gsm_dec" () in
+  Builder.li b R.a0 Kit.src_base;
+  Builder.li b R.a1 Kit.out_base;
+  Builder.li b R.a2 (Kit.out_base + (3 * n));
+  Builder.li b R.a3 Kit.aux_base (* reflection table *);
+  Builder.li b R.s0 passes;
+  Builder.li b R.s3 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s4 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s5 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s6 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s7 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.label b "pass";
+  (* --- synthesis loop --- *)
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a0;
+  Builder.move b R.t2 R.a1;
+  Builder.li b R.s1 0 (* filter state *);
+  Builder.label b "synth";
+  Builder.lh b R.t3 0 R.t1;
+  Builder.lh b R.t4 2 R.t1;
+  (* chain R (8 ops): predictor recurrence; inputs s1 (state), t3 *)
+  Builder.sll b R.t5 R.s1 1;
+  Builder.addu b R.t5 R.t5 R.t3;
+  Builder.sra b R.t5 R.t5 1;
+  Builder.xori b R.t5 R.t5 0x2A;
+  Builder.addu b R.t5 R.t5 R.t3;
+  Builder.andi b R.t5 R.t5 0x1FFF;
+  Builder.sra b R.t5 R.t5 1;
+  Builder.subu b R.s1 R.t5 R.t3;
+  (* chain S (4 ops): residual shaping; inputs t3, t4 *)
+  Builder.subu b R.t6 R.t4 R.t3;
+  Builder.sll b R.t6 R.t6 2;
+  Builder.addiu b R.t6 R.t6 128;
+  Builder.andi b R.t8 R.t6 0xFFF;
+  (* chain Q (3 ops): de-emphasis; input t4 *)
+  Builder.sra b R.t7 R.t4 2;
+  Builder.xori b R.t7 R.t7 0x1F;
+  Builder.addu b R.t9 R.t7 R.t4;
+  (* non-foldable work: table lookup, long multiply, accumulators *)
+  Builder.andi b R.v0 R.t4 0x1E;
+  Builder.addu b R.v0 R.a3 R.v0;
+  Builder.lh b R.v1 0 R.v0;
+  Builder.mult b R.v1 R.t9;
+  Builder.mflo b R.v1;
+  Builder.addu b R.s3 R.s3 R.v1;
+  Builder.addu b R.s4 R.s4 R.s1;
+  Builder.addu b R.s5 R.s5 R.t8;
+  Builder.sh b R.s1 0 R.t2;
+  Builder.sh b R.t8 2 R.t2;
+  Builder.sh b R.t9 4 R.t2;
+  Builder.addiu b R.t1 R.t1 4;
+  Builder.addiu b R.t2 R.t2 6;
+  Builder.addiu b R.t0 R.t0 (-2);
+  Builder.bgtz b R.t0 "synth";
+  (* --- postfilter loop --- *)
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a1;
+  Builder.move b R.t2 R.a2;
+  Builder.label b "postf";
+  Builder.lh b R.t3 0 R.t1;
+  Builder.lh b R.t4 2 R.t1;
+  (* chain P1 (4 ops) *)
+  Builder.addu b R.t5 R.t3 R.t4;
+  Builder.sra b R.t5 R.t5 1;
+  Builder.xori b R.t5 R.t5 0x0D;
+  Builder.andi b R.t6 R.t5 0x7FF;
+  (* chain P2 (3 ops) *)
+  Builder.subu b R.t5 R.t3 R.t4;
+  Builder.sll b R.t5 R.t5 1;
+  Builder.andi b R.t7 R.t5 0xFFF;
+  (* chain P3 (2 ops) *)
+  Builder.sra b R.t5 R.t4 3;
+  Builder.xori b R.t8 R.t5 0x21;
+  (* non-foldable mixing *)
+  Builder.sll b R.v0 R.t6 16;
+  Builder.or_ b R.v0 R.v0 R.t7;
+  Builder.addu b R.s6 R.s6 R.v0;
+  Builder.addu b R.s7 R.s7 R.t8;
+  Builder.sh b R.t6 0 R.t2;
+  Builder.addiu b R.t1 R.t1 6;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t0 R.t0 (-3);
+  Builder.bgtz b R.t0 "postf";
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_halfwords mem Kit.src_base
+    (Kit.xorshift ~seed:0x65D0 ~n ~mask:0x7FF);
+  Kit.store_halfwords mem Kit.aux_base (Array.init 16 (fun i -> 7 + (3 * i)))
+
+let workload =
+  {
+    Workload.name = "gsm_dec";
+    description = "synthesis filter + postfilter (8/4/3 + 4/3/2-op chains)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

@@ -1,0 +1,114 @@
+(* GSM encoder-like kernel (long-term prediction search step).
+
+   Three chains per sample that share a common 3-op subsequence
+   (scale-accumulate-rescale), reproducing the paper's Figure 3
+   situation: when PFUs are scarce the selective algorithm's
+   containment matrix prefers the shared subsequence - it appears in
+   every chain, so one configuration covers all three - over
+   implementing each maximal chain separately. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096
+let passes = 3
+let out_len = (3 * n) + (n / 2)
+
+let program =
+  let b = Builder.create ~name:"gsm_enc" () in
+  Builder.li b R.a0 Kit.src_base;
+  Builder.li b R.a1 (Kit.src_base + (2 * n));
+  Builder.li b R.a2 Kit.out_base;
+  Builder.li b R.a3 Kit.aux_base (* weighting table *);
+  Builder.li b R.s0 passes;
+  Builder.li b R.s3 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s4 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s5 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s6 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s7 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.label b "pass";
+  (* --- windowing pre-loop: taper the frame edges --- *)
+  Builder.li b R.t0 (n / 4);
+  Builder.move b R.t1 R.a0;
+  Builder.li b R.t2 (Kit.out_base + (3 * n));
+  Builder.label b "window";
+  Builder.lh b R.t4 0 R.t1;
+  (* taper chain (3 ops) *)
+  Builder.sra b R.t6 R.t4 1;
+  Builder.addu b R.t6 R.t6 R.t4;
+  Builder.andi b R.t7 R.t6 0xFFF;
+  (* parity chain (2 ops) *)
+  Builder.xori b R.t6 R.t4 0x249;
+  Builder.andi b R.t8 R.t6 0x3FF;
+  Builder.addu b R.s3 R.s3 R.t8;
+  Builder.sh b R.t7 0 R.t2;
+  Builder.addiu b R.t1 R.t1 2;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "window";
+  (* --- LTP search loop --- *)
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a0;
+  Builder.move b R.t2 R.a1;
+  Builder.move b R.t3 R.a2;
+  Builder.label b "inner";
+  Builder.lh b R.t4 0 R.t1 (* target sample *);
+  Builder.lh b R.t5 0 R.t2 (* reference sample *);
+  (* chain C1 (5 ops) = shared prefix (sll 3 / addu / sra 2) + xori/addu *)
+  Builder.sll b R.t6 R.t4 3;
+  Builder.addu b R.t6 R.t6 R.t5;
+  Builder.sra b R.t6 R.t6 2;
+  Builder.xori b R.t6 R.t6 0x15;
+  Builder.addu b R.t7 R.t6 R.t4;
+  (* chain C2 (5 ops) = shared prefix + subu/andi *)
+  Builder.sll b R.t6 R.t5 3;
+  Builder.addu b R.t6 R.t6 R.t4;
+  Builder.sra b R.t6 R.t6 2;
+  Builder.subu b R.t6 R.t6 R.t5;
+  Builder.andi b R.t8 R.t6 0x1FFF;
+  (* chain C3 (4 ops) = shared prefix + addiu *)
+  Builder.sll b R.t6 R.t4 3;
+  Builder.addu b R.t6 R.t6 R.t5;
+  Builder.sra b R.t6 R.t6 2;
+  Builder.addiu b R.t9 R.t6 37;
+  (* non-foldable work: weighting table, long multiply, accumulators *)
+  Builder.andi b R.v0 R.t5 0x1E;
+  Builder.addu b R.v0 R.a3 R.v0;
+  Builder.lh b R.v1 0 R.v0;
+  Builder.mult b R.v1 R.t9;
+  Builder.mflo b R.v1;
+  Builder.addu b R.s6 R.s6 R.v1;
+  Builder.sll b R.v0 R.t7 16;
+  Builder.or_ b R.v0 R.v0 R.t8;
+  Builder.addu b R.s7 R.s7 R.v0;
+  Builder.addu b R.s3 R.s3 R.t7;
+  Builder.addu b R.s4 R.s4 R.t8;
+  Builder.addu b R.s5 R.s5 R.t9;
+  Builder.sh b R.t7 0 R.t3;
+  Builder.sh b R.t8 2 R.t3;
+  Builder.sh b R.t9 4 R.t3;
+  Builder.addiu b R.t1 R.t1 2;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t3 R.t3 6;
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "inner";
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_halfwords mem Kit.src_base
+    (Kit.xorshift ~seed:0x65E0 ~n:(2 * n) ~mask:0x7FF);
+  Kit.store_halfwords mem Kit.aux_base (Array.init 16 (fun i -> 9 + (2 * i)))
+
+let workload =
+  {
+    Workload.name = "gsm_enc";
+    description = "LTP search (three 5/5/4-op chains sharing a 3-op prefix)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

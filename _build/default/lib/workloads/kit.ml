@@ -1,0 +1,25 @@
+open T1000_machine
+
+let src_base = 0x1000_0000
+let aux_base = 0x1400_0000
+let out_base = 0x2000_0000
+
+let xorshift ~seed ~n ~mask =
+  if mask land (mask + 1) <> 0 then invalid_arg "Kit.xorshift: bad mask";
+  let state = ref (if seed = 0 then 0x9E3779B9 else seed) in
+  Array.init n (fun _ ->
+      let x = !state in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 17) in
+      let x = (x lxor (x lsl 5)) land 0x7FFF_FFFF in
+      state := x;
+      x land mask)
+
+let store_halfwords mem base a =
+  Array.iteri (fun i v -> Memory.store_half mem (base + (2 * i)) v) a
+
+let store_words mem base a =
+  Array.iteri (fun i v -> Memory.store_word mem (base + (4 * i)) v) a
+
+let store_bytes mem base a =
+  Array.iteri (fun i v -> Memory.store_byte mem (base + i) v) a

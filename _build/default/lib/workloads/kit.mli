@@ -1,0 +1,22 @@
+(** Shared helpers for writing kernels: memory-layout conventions and
+    deterministic pseudo-random input generation.
+
+    Every kernel reads its inputs from [src_base]/[aux_base] and writes
+    its results to [out_base]; inputs are produced by a seeded xorshift
+    generator so runs are bit-reproducible without any external data
+    files (the MediaBench inputs are substituted per DESIGN.md). *)
+
+open T1000_machine
+
+val src_base : int
+val aux_base : int
+val out_base : int
+
+val xorshift : seed:int -> n:int -> mask:int -> int array
+(** [n] values in [[0, mask]]; [mask] must be [2{^k} - 1]. *)
+
+val store_halfwords : Memory.t -> int -> int array -> unit
+(** Little-endian halfwords at consecutive addresses. *)
+
+val store_words : Memory.t -> int -> int array -> unit
+val store_bytes : Memory.t -> int -> int array -> unit

@@ -1,0 +1,101 @@
+(* MPEG-2 decoder-like kernel (IDCT butterflies + motion compensation).
+
+   Two hot loops.  The IDCT loop runs three distinct butterfly/
+   saturation chains per sample pair; the motion-compensation loop adds
+   two more (average and rounding).  Wide mixing, a multiply and the
+   checksum accumulators dilute the foldable fraction to a mid-range
+   speedup. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096
+let passes = 3
+let out_len = (2 * n) + n
+
+let program =
+  let b = Builder.create ~name:"mpeg2_dec" () in
+  Builder.li b R.a0 Kit.src_base;
+  Builder.li b R.a1 Kit.out_base;
+  Builder.li b R.a2 (Kit.out_base + (2 * n));
+  Builder.li b R.s0 passes;
+  Builder.li b R.s3 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s4 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s5 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s6 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s7 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.label b "pass";
+  (* --- IDCT butterfly loop --- *)
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a0;
+  Builder.move b R.t2 R.a1;
+  Builder.label b "idct";
+  Builder.lh b R.t3 0 R.t1;
+  Builder.lh b R.t4 2 R.t1;
+  (* butterfly sum chain (4 ops) *)
+  Builder.addu b R.t5 R.t3 R.t4;
+  Builder.sra b R.t5 R.t5 1;
+  Builder.addiu b R.t5 R.t5 4;
+  Builder.andi b R.t6 R.t5 0xFFF;
+  (* butterfly difference chain (3 ops) *)
+  Builder.subu b R.t5 R.t3 R.t4;
+  Builder.sll b R.t5 R.t5 1;
+  Builder.andi b R.t7 R.t5 0x1FFF;
+  (* saturation chain (2 ops) *)
+  Builder.sra b R.t5 R.t3 3;
+  Builder.xori b R.t8 R.t5 0x2B;
+  (* wide mixing and multiply (not foldable) *)
+  Builder.sll b R.v0 R.t6 16;
+  Builder.or_ b R.v0 R.v0 R.t7;
+  Builder.addu b R.s3 R.s3 R.v0;
+  Builder.mult b R.t3 R.t4;
+  Builder.mflo b R.v1;
+  Builder.addu b R.s4 R.s4 R.v1;
+  Builder.addu b R.s5 R.s5 R.t8;
+  Builder.sh b R.t6 0 R.t2;
+  Builder.sh b R.t8 2 R.t2;
+  Builder.addiu b R.t1 R.t1 4;
+  Builder.addiu b R.t2 R.t2 4;
+  Builder.addiu b R.t0 R.t0 (-2);
+  Builder.bgtz b R.t0 "idct";
+  (* --- motion compensation loop --- *)
+  Builder.li b R.t0 (n / 2);
+  Builder.move b R.t1 R.a1;
+  Builder.move b R.t2 R.a2;
+  Builder.label b "mc";
+  Builder.lh b R.t3 0 R.t1;
+  Builder.lh b R.t4 2 R.t1;
+  (* average chain (3 ops) *)
+  Builder.addu b R.t5 R.t3 R.t4;
+  Builder.addiu b R.t5 R.t5 1;
+  Builder.sra b R.t6 R.t5 1;
+  (* rounding chain (2 ops) *)
+  Builder.xor b R.t5 R.t3 R.t4;
+  Builder.andi b R.t7 R.t5 1;
+  (* non-foldable *)
+  Builder.addu b R.s6 R.s6 R.t6;
+  Builder.addu b R.s7 R.s7 R.t7;
+  Builder.sh b R.t6 0 R.t2;
+  Builder.addiu b R.t1 R.t1 4;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "mc";
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_halfwords mem Kit.src_base
+    (Kit.xorshift ~seed:0x2DEC ~n ~mask:0x7FF)
+
+let workload =
+  {
+    Workload.name = "mpeg2_dec";
+    description = "IDCT + motion compensation (4/3/2 + 3/2-op chains)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

@@ -1,0 +1,105 @@
+(* MPEG-2 encoder-like kernel (motion-estimation SAD step).
+
+   Absolute pixel differences via the branch-free sra/xor/subu idiom -
+   the two abs chains share one canonical configuration - plus a
+   distinct weighting chain, accumulated into a wide SAD register. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096 (* pixel bytes per frame row set *)
+let passes = 4
+let out_len = n + (n / 2)
+
+let program =
+  let b = Builder.create ~name:"mpeg2_enc" () in
+  Builder.li b R.a0 Kit.src_base (* current block *);
+  Builder.li b R.a1 (Kit.src_base + n) (* reference block *);
+  Builder.li b R.a2 Kit.out_base;
+  Builder.li b R.s0 passes;
+  Builder.li b R.s3 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s4 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s5 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s7 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.label b "pass";
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a0;
+  Builder.move b R.t2 R.a1;
+  Builder.move b R.t3 R.a2;
+  Builder.label b "inner";
+  Builder.lbu b R.t4 0 R.t1;
+  Builder.lbu b R.t5 0 R.t2;
+  Builder.lbu b R.t6 1 R.t1;
+  Builder.lbu b R.t7 1 R.t2;
+  (* abs chain #1 (4 ops): |t4 - t5| *)
+  Builder.subu b R.t8 R.t4 R.t5;
+  Builder.sra b R.t9 R.t8 31;
+  Builder.xor b R.t8 R.t8 R.t9;
+  Builder.subu b R.v0 R.t8 R.t9;
+  (* abs chain #2 (4 ops): |t6 - t7|, same configuration *)
+  Builder.subu b R.t8 R.t6 R.t7;
+  Builder.sra b R.t9 R.t8 31;
+  Builder.xor b R.t8 R.t8 R.t9;
+  Builder.subu b R.v1 R.t8 R.t9;
+  (* weighting chain (3 ops): inputs t4, t6 *)
+  Builder.addu b R.t8 R.t4 R.t6;
+  Builder.sra b R.t8 R.t8 1;
+  Builder.xori b R.s2 R.t8 0x5A;
+  (* threshold chain (2 ops): inputs t5, t7 *)
+  Builder.subu b R.t8 R.t5 R.t7;
+  Builder.slti b R.s6 R.t8 16;
+  (* non-foldable work: long multiply, wide mixing, accumulators *)
+  Builder.mult b R.v0 R.v1;
+  Builder.mflo b R.t8;
+  Builder.addu b R.s7 R.s7 R.t8;
+  Builder.sll b R.t8 R.v0 16;
+  Builder.addu b R.s3 R.s3 R.t8;
+  Builder.addu b R.s3 R.s3 R.v0;
+  Builder.addu b R.s3 R.s3 R.v1;
+  Builder.addu b R.s4 R.s4 R.s2;
+  Builder.addu b R.s5 R.s5 R.s6;
+  Builder.sb b R.s2 0 R.t3;
+  Builder.addiu b R.t1 R.t1 2;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t3 R.t3 1;
+  Builder.addiu b R.t0 R.t0 (-2);
+  Builder.bgtz b R.t0 "inner";
+  (* --- half-pel interpolation loop --- *)
+  Builder.li b R.t0 (n / 2);
+  Builder.move b R.t1 R.a1;
+  Builder.li b R.t2 (Kit.out_base + n);
+  Builder.label b "halfpel";
+  Builder.lbu b R.t4 0 R.t1;
+  Builder.lbu b R.t5 1 R.t1;
+  (* rounding-average chain (3 ops) *)
+  Builder.addu b R.t8 R.t4 R.t5;
+  Builder.addiu b R.t8 R.t8 1;
+  Builder.sra b R.t6 R.t8 1;
+  (* gradient chain (2 ops) *)
+  Builder.subu b R.t8 R.t5 R.t4;
+  Builder.sll b R.t7 R.t8 1;
+  Builder.addu b R.s7 R.s7 R.t7;
+  Builder.sb b R.t6 0 R.t2;
+  Builder.addiu b R.t1 R.t1 2;
+  Builder.addiu b R.t2 R.t2 1;
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "halfpel";
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_bytes mem Kit.src_base
+    (Kit.xorshift ~seed:0x2E2C ~n:(2 * n) ~mask:0xFF)
+
+let workload =
+  {
+    Workload.name = "mpeg2_enc";
+    description = "SAD motion step (two shared abs chains + weight chain)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

@@ -1,0 +1,16 @@
+let all =
+  [
+    Unepic.workload;
+    Epic.workload;
+    Gsm_dec.workload;
+    Gsm_enc.workload;
+    G721_dec.workload;
+    G721_enc.workload;
+    Mpeg2_dec.workload;
+    Mpeg2_enc.workload;
+  ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all
+
+let names = List.map (fun w -> w.Workload.name) all

@@ -1,0 +1,9 @@
+(** The benchmark suite: all eight MediaBench-like kernels, in the
+    paper's figure order. *)
+
+val all : Workload.t list
+(** unepic, epic, gsm_dec, gsm_enc, g721_dec, g721_enc, mpeg2_dec,
+    mpeg2_enc. *)
+
+val find : string -> Workload.t option
+val names : string list

@@ -1,0 +1,100 @@
+(* UNEPIC-like kernel: dequantization followed by reconstruction.
+
+   Two hot loops, as in EPIC's decoder.  The dequantization loop has
+   three distinct chains (so two PFUs thrash under greedy selection)
+   and the reconstruction loop two more; table lookups and wide
+   accumulation dilute the foldable fraction. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let n = 4096 (* byte coefficients *)
+let passes = 3
+let out_len = (2 * n) + n
+
+let program =
+  let b = Builder.create ~name:"unepic" () in
+  Builder.li b R.a0 Kit.src_base;
+  Builder.li b R.a1 Kit.out_base;
+  Builder.li b R.a2 (Kit.out_base + (2 * n));
+  Builder.li b R.a3 Kit.aux_base (* scale table *);
+  Builder.li b R.s0 passes;
+  Builder.li b R.s3 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s4 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.li b R.s5 0x100000 (* wide-seeded checksum accumulator *);
+  Builder.label b "pass";
+  (* loop 1: dequantize bytes into halfwords *)
+  Builder.li b R.t0 n;
+  Builder.move b R.t1 R.a0;
+  Builder.move b R.t2 R.a1;
+  Builder.label b "dequant";
+  Builder.lbu b R.t3 0 R.t1;
+  Builder.lbu b R.t4 1 R.t1;
+  (* chain A (3 ops) *)
+  Builder.sll b R.t5 R.t3 3;
+  Builder.addu b R.t5 R.t5 R.t4;
+  Builder.xori b R.t6 R.t5 0x33;
+  (* chain B (3 ops) *)
+  Builder.and_ b R.t5 R.t3 R.t4;
+  Builder.ori b R.t5 R.t5 0x0F;
+  Builder.sll b R.t7 R.t5 2;
+  (* chain C (2 ops) *)
+  Builder.subu b R.t5 R.t4 R.t3;
+  Builder.andi b R.t8 R.t5 0xFF;
+  (* table lookup + wide work (not foldable) *)
+  Builder.andi b R.v0 R.t3 0x1E;
+  Builder.addu b R.v0 R.a3 R.v0;
+  Builder.lh b R.v1 0 R.v0;
+  Builder.mult b R.v1 R.t8;
+  Builder.mflo b R.v1;
+  Builder.addu b R.s3 R.s3 R.v1;
+  Builder.addu b R.s4 R.s4 R.t6;
+  Builder.sh b R.t6 0 R.t2;
+  Builder.sh b R.t7 2 R.t2;
+  Builder.addiu b R.t1 R.t1 2;
+  Builder.addiu b R.t2 R.t2 4;
+  Builder.addiu b R.t0 R.t0 (-2);
+  Builder.bgtz b R.t0 "dequant";
+  (* loop 2: reconstruct adjacent halfword pairs *)
+  Builder.li b R.t0 (n / 2);
+  Builder.move b R.t1 R.a1;
+  Builder.move b R.t2 R.a2;
+  Builder.label b "recon";
+  Builder.lh b R.t3 0 R.t1;
+  Builder.lh b R.t4 2 R.t1;
+  (* chain D (3 ops) *)
+  Builder.subu b R.t5 R.t3 R.t4;
+  Builder.sra b R.t5 R.t5 2;
+  Builder.addu b R.t6 R.t5 R.t4;
+  (* chain E (2 ops) *)
+  Builder.xor b R.t5 R.t3 R.t4;
+  Builder.andi b R.t7 R.t5 0x3FF;
+  (* wide mixing (not foldable) *)
+  Builder.sll b R.v0 R.t6 16;
+  Builder.or_ b R.v0 R.v0 R.t7;
+  Builder.addu b R.s5 R.s5 R.v0;
+  Builder.sh b R.t6 0 R.t2;
+  Builder.addiu b R.t1 R.t1 4;
+  Builder.addiu b R.t2 R.t2 2;
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "recon";
+  Builder.addiu b R.s0 R.s0 (-1);
+  Builder.bgtz b R.s0 "pass";
+  Builder.halt b;
+  Builder.build b
+
+let init mem _regs =
+  Kit.store_bytes mem Kit.src_base (Kit.xorshift ~seed:0x0E51 ~n ~mask:0xFF);
+  Kit.store_halfwords mem Kit.aux_base
+    (Array.init 16 (fun i -> 3 + (5 * i)))
+
+let workload =
+  {
+    Workload.name = "unepic";
+    description = "dequantize + reconstruct (two loops; five chains)";
+    program;
+    init;
+    out_base = Kit.out_base;
+    out_len;
+  }

@@ -1,0 +1,15 @@
+open T1000_asm
+open T1000_machine
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  init : Memory.t -> Regfile.t -> unit;
+  out_base : int;
+  out_len : int;
+}
+
+let output t mem =
+  String.init t.out_len (fun i ->
+      Char.chr (Memory.load_byte mem (t.out_base + i)))

@@ -1,0 +1,21 @@
+(** Workload descriptors.
+
+    A workload bundles a program with its deterministic input
+    initializer and the memory range holding its outputs, so tests can
+    compare baseline and rewritten executions byte for byte, and the
+    experiment drivers can run it under any machine configuration. *)
+
+open T1000_asm
+open T1000_machine
+
+type t = {
+  name : string;
+  description : string;
+  program : Program.t;
+  init : Memory.t -> Regfile.t -> unit;
+  out_base : int;  (** first byte of the output region *)
+  out_len : int;  (** output region length in bytes *)
+}
+
+val output : t -> Memory.t -> string
+(** The output region as raw bytes, for equivalence checks. *)

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Gen Hierarchy List QCheck QCheck_alcotest T1000_cache Tlb

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array Builder Canon Cfg Dfg Extract List Liveness Op QCheck QCheck_alcotest Reg String T1000_asm T1000_dfg T1000_isa T1000_profile Word

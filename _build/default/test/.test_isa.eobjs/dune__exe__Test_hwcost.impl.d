@@ -1,0 +1,1 @@
+test/test_hwcost.ml: Alcotest Area Array Dfg Format Lut Op T1000_dfg T1000_hwcost T1000_isa

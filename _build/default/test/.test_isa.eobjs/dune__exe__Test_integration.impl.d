@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Experiment Format Lazy List Option Report Runner Stats String T1000 T1000_asm T1000_dfg T1000_hwcost T1000_isa T1000_ooo T1000_profile T1000_select T1000_workloads

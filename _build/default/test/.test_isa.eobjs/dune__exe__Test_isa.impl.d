@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Encoding Format Instr Int64 List Op QCheck QCheck_alcotest Reg T1000_isa Word

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Builder Encoding Gen Hashtbl Interp List Memory Option Program QCheck QCheck_alcotest Reg Regfile T1000_asm T1000_isa T1000_machine Trace Word

@@ -1,0 +1,1 @@
+test/test_ooo.ml: Alcotest Builder Instr Mconfig Pfu_file Reg Ruu Sim Stats T1000_asm T1000_cache T1000_isa T1000_ooo Word

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Bitwidth Builder Format List Mix Profile Reg String T1000_asm T1000_isa T1000_machine T1000_profile Word

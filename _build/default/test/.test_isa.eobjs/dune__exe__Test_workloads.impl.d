@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Hashtbl List Registry String T1000 T1000_dfg T1000_hwcost T1000_machine T1000_select T1000_workloads Workload

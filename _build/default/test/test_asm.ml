@@ -1,0 +1,651 @@
+(* Tests for the assembler layer: programs, the builder DSL, control-flow
+   graphs, dominators, natural loops, liveness and register sets. *)
+
+open T1000_isa
+open T1000_asm
+module R = Reg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_ints = Alcotest.(check (list int))
+let sorted = List.sort compare
+
+(* ---------- Program ---------- *)
+
+let test_program_basics () =
+  let code = [| Instr.Nop; Instr.Halt |] in
+  let p = Program.make ~name:"p" code in
+  check_int "length" 2 (Program.length p);
+  check_bool "get" true (Instr.equal Instr.Halt (Program.get p 1));
+  check_int "max_ext_id none" (-1) (Program.max_ext_id p);
+  (* the copy is deep: mutating the source array must not change it *)
+  code.(0) <- Instr.Halt;
+  check_bool "deep copy" true (Instr.equal Instr.Nop (Program.get p 0))
+
+let test_program_validation () =
+  check_bool "bad branch target" true
+    (match
+       Program.make [| Instr.Branch (Op.Beq, R.t0, R.t1, 9); Instr.Halt |]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "bad jump target" true
+    (match Program.make [| Instr.Jump (-1); Instr.Halt |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_program_max_ext_id () =
+  let p =
+    Program.make
+      [|
+        Instr.Ext { eid = 3; dst = R.t0; src1 = R.t1; src2 = R.zero };
+        Instr.Ext { eid = 7; dst = R.t0; src1 = R.t1; src2 = R.zero };
+        Instr.Halt;
+      |]
+  in
+  check_int "max ext id" 7 (Program.max_ext_id p)
+
+(* ---------- Builder ---------- *)
+
+let test_builder_loop () =
+  let b = Builder.create ~name:"loop" () in
+  Builder.li b R.t0 3;
+  Builder.label b "top";
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "top";
+  Builder.halt b;
+  let p = Builder.build b in
+  check_int "length" 4 (Program.length p);
+  match Program.get p 2 with
+  | Instr.Branch (Op.Bgtz, _, _, 1) -> ()
+  | i -> Alcotest.failf "expected backward branch to 1, got %a" Instr.pp i
+
+let test_builder_forward_label () =
+  let b = Builder.create () in
+  Builder.j b "end";
+  Builder.nop b;
+  Builder.label b "end";
+  Builder.halt b;
+  let p = Builder.build b in
+  match Program.get p 0 with
+  | Instr.Jump 2 -> ()
+  | i -> Alcotest.failf "expected jump to 2, got %a" Instr.pp i
+
+let test_builder_errors () =
+  let b = Builder.create () in
+  Builder.label b "dup";
+  check_bool "duplicate label" true
+    (match Builder.label b "dup" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let b2 = Builder.create () in
+  Builder.j b2 "missing";
+  check_bool "undefined label" true
+    (match Builder.build b2 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_builder_li () =
+  let run_li v =
+    let b = Builder.create () in
+    Builder.li b R.t0 v;
+    Builder.halt b;
+    let p = Builder.build b in
+    let mem = T1000_machine.Memory.create () in
+    let regs = T1000_machine.Regfile.create () in
+    let i = T1000_machine.Interp.create ~mem ~regs p in
+    ignore (T1000_machine.Interp.run i);
+    T1000_machine.Regfile.get regs R.t0
+  in
+  check_int "small" 42 (run_li 42);
+  check_int "negative" (-3) (run_li (-3));
+  check_int "16-bit unsigned" 0xFFFF (run_li 0xFFFF);
+  check_int "32-bit" 0x12345678 (run_li 0x12345678);
+  check_int "high only" 0x40000 (run_li 0x40000);
+  check_int "negative large" (-2147483648) (run_li (-2147483648))
+
+let test_fresh_label () =
+  let b = Builder.create () in
+  let l1 = Builder.fresh_label b "x" and l2 = Builder.fresh_label b "x" in
+  check_bool "unique" true (not (String.equal l1 l2))
+
+(* ---------- Cfg ---------- *)
+
+let diamond () =
+  (* 0: beq -> 2 | 1: j 3 | 2: nop | 3: halt  => 4 blocks *)
+  Program.make
+    [|
+      Instr.Branch (Op.Beq, R.t0, R.t1, 2);
+      Instr.Jump 3;
+      Instr.Nop;
+      Instr.Halt;
+    |]
+
+let test_cfg_single_block () =
+  let p = Program.make [| Instr.Nop; Instr.Nop; Instr.Halt |] in
+  let g = Cfg.of_program p in
+  check_int "one block" 1 (Cfg.n_blocks g);
+  check_ints "slots" [ 0; 1; 2 ] (Cfg.instr_indices (Cfg.block g 0));
+  check_ints "no succ" [] (Cfg.block g 0).Cfg.succ
+
+let test_cfg_diamond () =
+  let g = Cfg.of_program (diamond ()) in
+  check_int "four blocks" 4 (Cfg.n_blocks g);
+  check_ints "entry succ" [ 1; 2 ] (sorted (Cfg.block g 0).Cfg.succ);
+  check_ints "left succ" [ 3 ] (Cfg.block g 1).Cfg.succ;
+  check_ints "right succ" [ 3 ] (Cfg.block g 2).Cfg.succ;
+  check_ints "join preds" [ 1; 2 ] (sorted (Cfg.block g 3).Cfg.pred);
+  check_int "block_of_instr" 2 (Cfg.block_of_instr g 2)
+
+let test_cfg_loop () =
+  let b = Builder.create () in
+  Builder.li b R.t0 3;
+  Builder.label b "top";
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "top";
+  Builder.halt b;
+  let g = Cfg.of_program (Builder.build b) in
+  check_int "three blocks" 3 (Cfg.n_blocks g);
+  check_ints "loop block succ" [ 1; 2 ] (sorted (Cfg.block g 1).Cfg.succ);
+  check_ints "loop block self-pred" [ 0; 1 ] (sorted (Cfg.block g 1).Cfg.pred)
+
+let test_cfg_jal_jr () =
+  let b = Builder.create () in
+  Builder.jal b "fn";
+  Builder.halt b;
+  Builder.label b "fn";
+  Builder.jr b R.ra;
+  let p = Builder.build b in
+  let g = Cfg.of_program p in
+  (* jr's conservative successors are the return sites (slot after jal) *)
+  let jr_block = Cfg.block_of_instr g 2 in
+  let ret_block = Cfg.block_of_instr g 1 in
+  check_bool "jr -> return site" true
+    (List.mem ret_block (Cfg.block g jr_block).Cfg.succ);
+  check_bool "has_indirect_jump" true (Cfg.has_indirect_jump g jr_block);
+  check_bool "entry not indirect" false (Cfg.has_indirect_jump g 0)
+
+let test_cfg_pred_succ_duality () =
+  let g = Cfg.of_program (diamond ()) in
+  for b = 0 to Cfg.n_blocks g - 1 do
+    List.iter
+      (fun s ->
+        check_bool "succ implies pred" true
+          (List.mem b (Cfg.block g s).Cfg.pred))
+      (Cfg.block g b).Cfg.succ
+  done
+
+let test_cfg_to_dot () =
+  let g = Cfg.of_program (diamond ()) in
+  let dot = Cfg.to_dot g in
+  check_bool "digraph" true (String.sub dot 0 7 = "digraph");
+  let contains sub =
+    let rec find i =
+      i + String.length sub <= String.length dot
+      && (String.equal (String.sub dot i (String.length sub)) sub
+         || find (i + 1))
+    in
+    find 0
+  in
+  check_bool "block nodes" true (contains "B3");
+  check_bool "edges" true (contains "B0 -> B")
+
+(* ---------- Dominators ---------- *)
+
+let test_dominators_diamond () =
+  let g = Cfg.of_program (diamond ()) in
+  let d = Dominators.compute g in
+  check_bool "entry has no idom" true (Dominators.idom d 0 = None);
+  check_bool "idom left" true (Dominators.idom d 1 = Some 0);
+  check_bool "idom right" true (Dominators.idom d 2 = Some 0);
+  check_bool "idom join is entry" true (Dominators.idom d 3 = Some 0);
+  check_bool "entry dominates all" true
+    (Dominators.dominates d 0 3 && Dominators.dominates d 0 1);
+  check_bool "left does not dominate join" false (Dominators.dominates d 1 3);
+  check_bool "reflexive" true (Dominators.dominates d 2 2)
+
+let test_dominators_unreachable () =
+  (* slot 1 is unreachable (jump over it) *)
+  let p = Program.make [| Instr.Jump 2; Instr.Nop; Instr.Halt |] in
+  let g = Cfg.of_program p in
+  let d = Dominators.compute g in
+  let unreachable = Cfg.block_of_instr g 1 in
+  check_bool "unreachable" false (Dominators.reachable d unreachable);
+  check_bool "no idom" true (Dominators.idom d unreachable = None);
+  check_bool "rpo excludes it" true
+    (not (Array.exists (fun b -> b = unreachable) (Dominators.reverse_postorder d)))
+
+(* Random CFGs: a program of [n] slots where every slot is either a
+   conditional branch to a random target, a jump, or a nop; the last
+   slot is halt.  Dominance is then checked against the definition: [a]
+   dominates [b] iff removing [a] makes [b] unreachable from the
+   entry. *)
+let random_cfg_gen =
+  let open QCheck.Gen in
+  let slot n =
+    frequency
+      [
+        (3, return `Nop);
+        (2, map (fun t -> `Branch t) (int_range 0 (n - 1)));
+        (1, map (fun t -> `Jump t) (int_range 0 (n - 1)));
+      ]
+  in
+  sized_size (int_range 4 12) (fun n ->
+      map
+        (fun slots ->
+          let code =
+            Array.of_list
+              (List.mapi
+                 (fun i s ->
+                   if i = n - 1 then Instr.Halt
+                   else
+                     match s with
+                     | `Nop -> Instr.Nop
+                     | `Branch t -> Instr.Branch (Op.Bgtz, R.t0, R.zero, t)
+                     | `Jump t -> Instr.Jump t)
+                 slots)
+          in
+          Program.make code)
+        (list_repeat n (slot n)))
+
+let test_dominators_brute_force =
+  QCheck.Test.make ~name:"dominators match brute-force reachability"
+    ~count:300 (QCheck.make random_cfg_gen) (fun p ->
+      let g = Cfg.of_program p in
+      let d = Dominators.compute g in
+      let n = Cfg.n_blocks g in
+      (* reachability from entry avoiding [avoid] (-1 = avoid nothing) *)
+      let reachable_avoiding avoid =
+        let seen = Array.make n false in
+        let rec dfs b =
+          if (not seen.(b)) && b <> avoid then begin
+            seen.(b) <- true;
+            List.iter dfs (Cfg.block g b).Cfg.succ
+          end
+        in
+        if avoid <> 0 then dfs 0;
+        seen
+      in
+      let plain = reachable_avoiding (-1) in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        let without_a = reachable_avoiding a in
+        for b = 0 to n - 1 do
+          if plain.(b) then begin
+            let dominates_ref =
+              if a = b then plain.(a) else plain.(a) && not without_a.(b)
+            in
+            if Dominators.dominates d a b <> dominates_ref then ok := false
+          end
+        done
+      done;
+      !ok)
+
+(* ---------- Loops ---------- *)
+
+let nested_loops_program () =
+  let b = Builder.create () in
+  Builder.li b R.t0 3;
+  Builder.label b "outer";
+  Builder.li b R.t1 3;
+  Builder.label b "inner";
+  Builder.addiu b R.t1 R.t1 (-1);
+  Builder.bgtz b R.t1 "inner";
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "outer";
+  Builder.halt b;
+  Builder.build b
+
+let test_loops_simple () =
+  let b = Builder.create () in
+  Builder.li b R.t0 3;
+  Builder.label b "top";
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "top";
+  Builder.halt b;
+  let g = Cfg.of_program (Builder.build b) in
+  let d = Dominators.compute g in
+  let l = Loops.compute g d in
+  check_int "one loop" 1 (Array.length (Loops.loops l));
+  let loop = (Loops.loops l).(0) in
+  check_int "depth" 1 loop.Loops.depth;
+  check_bool "body has header" true (List.mem loop.Loops.header loop.Loops.body);
+  check_bool "instr in loop" true
+    (Loops.innermost_at_instr l 1 <> None);
+  check_bool "halt not in loop" true (Loops.innermost_at_instr l 3 = None)
+
+let test_loops_nested () =
+  let g = Cfg.of_program (nested_loops_program ()) in
+  let d = Dominators.compute g in
+  let l = Loops.compute g d in
+  let loops = Loops.loops l in
+  check_int "two loops" 2 (Array.length loops);
+  (* innermost-first ordering *)
+  check_int "first is inner (depth 2)" 2 loops.(0).Loops.depth;
+  check_int "second is outer (depth 1)" 1 loops.(1).Loops.depth;
+  check_bool "inner's parent is outer" true (loops.(0).Loops.parent = Some 1);
+  check_bool "outer has no parent" true (loops.(1).Loops.parent = None);
+  (* inner body is a subset of outer body *)
+  check_bool "nesting subset" true
+    (List.for_all (fun b -> List.mem b loops.(1).Loops.body) loops.(0).Loops.body);
+  (* the inner decrement belongs to the inner loop *)
+  check_bool "innermost_at_instr" true (Loops.innermost_at_instr l 2 = Some 0)
+
+let test_loops_multi_backedge () =
+  (* a loop with a 'continue': two back edges to one header must merge
+     into a single natural loop *)
+  let b = Builder.create () in
+  Builder.li b R.t0 10;
+  Builder.label b "head";
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.andi b R.t1 R.t0 1;
+  Builder.bgtz b R.t1 "head" (* continue for odd counts *);
+  Builder.nop b;
+  Builder.bgtz b R.t0 "head" (* normal back edge *);
+  Builder.halt b;
+  let g = Cfg.of_program (Builder.build b) in
+  let d = Dominators.compute g in
+  let l = Loops.compute g d in
+  check_int "one merged loop" 1 (Array.length (Loops.loops l));
+  let loop = (Loops.loops l).(0) in
+  (* both back-edge sources are in the body *)
+  check_bool "continue block in body" true
+    (List.mem (Cfg.block_of_instr g 3) loop.Loops.body);
+  check_bool "latch block in body" true
+    (List.mem (Cfg.block_of_instr g 5) loop.Loops.body)
+
+let test_loops_branch_inside () =
+  (* an if/else inside a loop: all four blocks belong to the loop *)
+  let b = Builder.create () in
+  Builder.li b R.t0 6;
+  Builder.label b "head";
+  Builder.andi b R.t1 R.t0 1;
+  Builder.beq b R.t1 R.zero "even";
+  Builder.addiu b R.t2 R.t2 1;
+  Builder.j b "join";
+  Builder.label b "even";
+  Builder.addiu b R.t3 R.t3 1;
+  Builder.label b "join";
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "head";
+  Builder.halt b;
+  let g = Cfg.of_program (Builder.build b) in
+  let d = Dominators.compute g in
+  let l = Loops.compute g d in
+  check_int "one loop" 1 (Array.length (Loops.loops l));
+  let loop = (Loops.loops l).(0) in
+  List.iter
+    (fun slot ->
+      check_bool
+        (Printf.sprintf "slot %d inside the loop" slot)
+        true
+        (List.mem (Cfg.block_of_instr g slot) loop.Loops.body))
+    [ 1; 3; 5; 6; 7 ];
+  (* the header dominates every block of its body *)
+  List.iter
+    (fun blk ->
+      check_bool "header dominates body" true
+        (Dominators.dominates d loop.Loops.header blk))
+    loop.Loops.body
+
+let test_loops_none () =
+  let g = Cfg.of_program (diamond ()) in
+  let d = Dominators.compute g in
+  let l = Loops.compute g d in
+  check_int "no loops" 0 (Array.length (Loops.loops l))
+
+(* ---------- Regset ---------- *)
+
+let test_regset_basics () =
+  let s = Regset.of_list [ 1; 5; Instr.hi_reg ] in
+  check_bool "mem 5" true (Regset.mem 5 s);
+  check_bool "mem hi" true (Regset.mem Instr.hi_reg s);
+  check_bool "not mem 2" false (Regset.mem 2 s);
+  check_int "cardinal" 3 (Regset.cardinal s);
+  check_ints "elements" [ 1; 5; Instr.hi_reg ] (Regset.elements s);
+  check_bool "empty" true (Regset.is_empty Regset.empty);
+  check_int "full cardinal" Instr.dep_reg_count (Regset.cardinal Regset.full);
+  check_bool "remove" false (Regset.mem 5 (Regset.remove 5 s));
+  check_bool "subset" true (Regset.subset (Regset.singleton 1) s);
+  check_bool "out of range" true
+    (match Regset.add 40 Regset.empty with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_regset_ops =
+  let reg = QCheck.Gen.int_range 0 (Instr.dep_reg_count - 1) in
+  let set_gen = QCheck.Gen.(map Regset.of_list (list_size (0 -- 10) reg)) in
+  QCheck.Test.make ~name:"regset ops agree with list model" ~count:500
+    (QCheck.make (QCheck.Gen.pair set_gen set_gen))
+    (fun (a, b) ->
+      let la = Regset.elements a and lb = Regset.elements b in
+      let module S = Set.Make (Int) in
+      let sa = S.of_list la and sb = S.of_list lb in
+      Regset.elements (Regset.union a b) = S.elements (S.union sa sb)
+      && Regset.elements (Regset.inter a b) = S.elements (S.inter sa sb)
+      && Regset.elements (Regset.diff a b) = S.elements (S.diff sa sb))
+
+(* ---------- Liveness ---------- *)
+
+let test_liveness_straightline () =
+  (* t0 <- 1; t1 <- t0+t0; halt : t1 dead, t0 dead at exit *)
+  let b = Builder.create () in
+  Builder.li b R.t0 1;
+  Builder.addu b R.t1 R.t0 R.t0;
+  Builder.halt b;
+  let g = Cfg.of_program (Builder.build b) in
+  let live = Liveness.compute g in
+  check_bool "nothing live in" true (Regset.is_empty (Liveness.live_in live 0));
+  check_bool "nothing live out" true
+    (Regset.is_empty (Liveness.live_out live 0))
+
+let test_liveness_loop_carried () =
+  let b = Builder.create () in
+  Builder.li b R.t0 3;
+  Builder.label b "top";
+  Builder.addiu b R.t0 R.t0 (-1);
+  Builder.bgtz b R.t0 "top";
+  Builder.halt b;
+  let g = Cfg.of_program (Builder.build b) in
+  let live = Liveness.compute g in
+  let loop_block = Cfg.block_of_instr g 1 in
+  check_bool "t0 live into loop" true
+    (Regset.mem (Reg.to_int R.t0) (Liveness.live_in live loop_block));
+  check_bool "t0 live out of loop (back edge)" true
+    (Regset.mem (Reg.to_int R.t0) (Liveness.live_out live loop_block))
+
+let test_liveness_indirect_jump () =
+  let b = Builder.create () in
+  Builder.jal b "fn";
+  Builder.halt b;
+  Builder.label b "fn";
+  Builder.jr b R.ra;
+  let g = Cfg.of_program (Builder.build b) in
+  let live = Liveness.compute g in
+  let jr_block = Cfg.block_of_instr g 2 in
+  (* conservative: everything live at an indirect jump *)
+  check_bool "full live out at jr" true
+    (Regset.equal Regset.full (Liveness.live_out live jr_block))
+
+let test_live_after_instr () =
+  (* block: t0 <- 1; t1 <- t0+1; t0 <- 2; store t0; halt
+     after slot 1, t0's first value is dead (redefined at 2) but t1...
+     t1 is never used, so only the second t0 matters. *)
+  let b = Builder.create () in
+  Builder.li b R.t0 1;
+  Builder.addiu b R.t1 R.t0 1;
+  Builder.li b R.t0 2;
+  Builder.sw b R.t0 0 R.zero;
+  Builder.halt b;
+  let g = Cfg.of_program (Builder.build b) in
+  let live = Liveness.compute g in
+  let after1 = Liveness.live_after_instr live 1 in
+  check_bool "t0 dead after slot 1 (redefined)" false
+    (Regset.mem (Reg.to_int R.t0) after1);
+  let after2 = Liveness.live_after_instr live 2 in
+  check_bool "t0 live after slot 2 (store reads it)" true
+    (Regset.mem (Reg.to_int R.t0) after2)
+
+
+(* ---------- Asm_text ---------- *)
+
+let test_asm_text_roundtrip_workloads () =
+  (* every benchmark's program survives print -> parse unchanged *)
+  List.iter
+    (fun w ->
+      let p = w.T1000_workloads.Workload.program in
+      let text = Asm_text.to_string p in
+      match Asm_text.parse text with
+      | Error msg -> Alcotest.failf "%s: %s" (Program.name p) msg
+      | Ok q ->
+          check_int
+            (w.T1000_workloads.Workload.name ^ " length")
+            (Program.length p) (Program.length q);
+          Program.iteri
+            (fun i instr ->
+              if not (Instr.equal instr (Program.get q i)) then
+                Alcotest.failf "%s slot %d: %a <> %a"
+                  w.T1000_workloads.Workload.name i Instr.pp instr Instr.pp
+                  (Program.get q i))
+            p)
+    T1000_workloads.Registry.all
+
+let test_asm_text_parse_source () =
+  let src =
+    {|
+# sum 1..5
+        addiu t0, zero, 5
+        addiu t1, zero, 0
+loop:   addu  t1, t1, t0      ; accumulate
+        addiu t0, t0, -1
+        bgtz  t0, loop
+        sw    t1, 0(sp)
+        halt
+|}
+  in
+  let p = Asm_text.parse_exn src in
+  check_int "seven instructions" 7 (Program.length p);
+  (match Program.get p 4 with
+  | Instr.Branch (Op.Bgtz, _, _, 2) -> ()
+  | i -> Alcotest.failf "branch: %a" Instr.pp i);
+  (* run it *)
+  let mem = T1000_machine.Memory.create () in
+  let regs = T1000_machine.Regfile.create () in
+  T1000_machine.Regfile.set regs R.sp 0x1000;
+  let i = T1000_machine.Interp.create ~mem ~regs p in
+  ignore (T1000_machine.Interp.run i);
+  check_int "sum" 15 (T1000_machine.Memory.load_word mem 0x1000)
+
+let test_asm_text_named_and_numeric_regs () =
+  let p1 = Asm_text.parse_exn "addu t0, v0, a1
+halt" in
+  let p2 = Asm_text.parse_exn "addu r8, r2, r5
+halt" in
+  check_bool "aliases agree" true
+    (Instr.equal (Program.get p1 0) (Program.get p2 0))
+
+let test_asm_text_absolute_targets () =
+  let p = Asm_text.parse_exn "j @2
+nop
+halt" in
+  match Program.get p 0 with
+  | Instr.Jump 2 -> ()
+  | i -> Alcotest.failf "jump: %a" Instr.pp i
+
+let test_asm_text_ext () =
+  let p = Asm_text.parse_exn "ext#7 t0, t1, zero
+halt" in
+  match Program.get p 0 with
+  | Instr.Ext { eid = 7; _ } -> ()
+  | i -> Alcotest.failf "ext: %a" Instr.pp i
+
+let test_asm_text_errors () =
+  let fails s =
+    match Asm_text.parse s with Error _ -> true | Ok _ -> false
+  in
+  check_bool "unknown mnemonic" true (fails "frobnicate t0, t1");
+  check_bool "bad register" true (fails "addu t0, t1, r99\nhalt");
+  check_bool "undefined label" true (fails "j nowhere\nhalt");
+  check_bool "duplicate label" true (fails "x:\nnop\nx:\nhalt");
+  check_bool "wrong arity" true (fails "addu t0, t1\nhalt");
+  check_bool "error carries line number" true
+    (match Asm_text.parse "nop\nbogus t0" with
+    | Error msg ->
+        let sub = "line 2" in
+        let rec find i =
+          i + String.length sub <= String.length msg
+          && (String.equal (String.sub msg i (String.length sub)) sub
+             || find (i + 1))
+        in
+        find 0
+    | Ok _ -> false)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "t1000_asm"
+    [
+      ( "program",
+        [
+          Alcotest.test_case "basics" `Quick test_program_basics;
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "max_ext_id" `Quick test_program_max_ext_id;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "loop" `Quick test_builder_loop;
+          Alcotest.test_case "forward label" `Quick test_builder_forward_label;
+          Alcotest.test_case "errors" `Quick test_builder_errors;
+          Alcotest.test_case "li" `Quick test_builder_li;
+          Alcotest.test_case "fresh_label" `Quick test_fresh_label;
+        ] );
+      ( "cfg",
+        [
+          Alcotest.test_case "single block" `Quick test_cfg_single_block;
+          Alcotest.test_case "diamond" `Quick test_cfg_diamond;
+          Alcotest.test_case "loop" `Quick test_cfg_loop;
+          Alcotest.test_case "jal/jr" `Quick test_cfg_jal_jr;
+          Alcotest.test_case "pred/succ duality" `Quick
+            test_cfg_pred_succ_duality;
+          Alcotest.test_case "to_dot" `Quick test_cfg_to_dot;
+        ] );
+      ( "dominators",
+        [
+          Alcotest.test_case "diamond" `Quick test_dominators_diamond;
+          Alcotest.test_case "unreachable" `Quick test_dominators_unreachable;
+        ]
+        @ qsuite [ test_dominators_brute_force ] );
+      ( "loops",
+        [
+          Alcotest.test_case "simple" `Quick test_loops_simple;
+          Alcotest.test_case "nested" `Quick test_loops_nested;
+          Alcotest.test_case "multi-backedge" `Quick
+            test_loops_multi_backedge;
+          Alcotest.test_case "branch inside" `Quick
+            test_loops_branch_inside;
+          Alcotest.test_case "none" `Quick test_loops_none;
+        ] );
+      ( "regset",
+        [ Alcotest.test_case "basics" `Quick test_regset_basics ]
+        @ qsuite [ test_regset_ops ] );
+      ( "asm_text",
+        [
+          Alcotest.test_case "workload round trips" `Quick
+            test_asm_text_roundtrip_workloads;
+          Alcotest.test_case "parse source" `Quick test_asm_text_parse_source;
+          Alcotest.test_case "register aliases" `Quick
+            test_asm_text_named_and_numeric_regs;
+          Alcotest.test_case "absolute targets" `Quick
+            test_asm_text_absolute_targets;
+          Alcotest.test_case "ext" `Quick test_asm_text_ext;
+          Alcotest.test_case "errors" `Quick test_asm_text_errors;
+        ] );
+      ( "liveness",
+        [
+          Alcotest.test_case "straight line" `Quick test_liveness_straightline;
+          Alcotest.test_case "loop carried" `Quick test_liveness_loop_carried;
+          Alcotest.test_case "indirect jump" `Quick
+            test_liveness_indirect_jump;
+          Alcotest.test_case "live_after_instr" `Quick test_live_after_instr;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Tests for the LUT cost model and the area histogram. *)
+
+open T1000_isa
+open T1000_dfg
+open T1000_hwcost
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let n_alu op a b width = { Dfg.op = Dfg.N_alu op; a; b; width }
+let n_shift op a b width = { Dfg.op = Dfg.N_shift op; a; b; width }
+
+let test_adder_cost () =
+  let d =
+    Dfg.make ~n_inputs:2 [| n_alu Op.Addu (Dfg.Input 0) (Dfg.Input 1) 16 |]
+  in
+  check_int "16-bit add = 16 LUTs" 16 (Lut.cost d);
+  let d8 =
+    Dfg.make ~n_inputs:2 [| n_alu Op.Subu (Dfg.Input 0) (Dfg.Input 1) 8 |]
+  in
+  check_int "8-bit sub = 8 LUTs" 8 (Lut.cost d8)
+
+let test_const_shift_free () =
+  let d =
+    Dfg.make ~n_inputs:1 [| n_shift Op.Sll (Dfg.Input 0) (Dfg.Const 4) 16 |]
+  in
+  check_int "constant shift is wiring" 0 (Lut.cost d)
+
+let test_variable_shift () =
+  let d =
+    Dfg.make ~n_inputs:2 [| n_shift Op.Srl (Dfg.Input 0) (Dfg.Input 1) 16 |]
+  in
+  check_int "barrel shifter 16 x ceil(log2 16)" (16 * 4) (Lut.cost d)
+
+let test_slt_cost () =
+  let d =
+    Dfg.make ~n_inputs:2 [| n_alu Op.Slt (Dfg.Input 0) (Dfg.Input 1) 12 |]
+  in
+  check_int "comparator w+1" 13 (Lut.cost d)
+
+let test_logic_packing () =
+  (* one logic op: ceil(1/3) = 1 LUT per bit *)
+  let one =
+    Dfg.make ~n_inputs:2 [| n_alu Op.And (Dfg.Input 0) (Dfg.Input 1) 8 |]
+  in
+  check_int "single logic op" 8 (Lut.cost one);
+  (* three chained logic ops pack into one 4-LUT level per bit *)
+  let three =
+    Dfg.make ~n_inputs:2
+      [|
+        n_alu Op.And (Dfg.Input 0) (Dfg.Input 1) 8;
+        n_alu Op.Or (Dfg.Node 0) (Dfg.Input 0) 8;
+        n_alu Op.Xor (Dfg.Node 1) (Dfg.Input 1) 8;
+      |]
+  in
+  check_int "three chained logic ops still 8" 8 (Lut.cost three);
+  (* four chained logic ops need a second level *)
+  let four =
+    Dfg.make ~n_inputs:2
+      [|
+        n_alu Op.And (Dfg.Input 0) (Dfg.Input 1) 8;
+        n_alu Op.Or (Dfg.Node 0) (Dfg.Input 0) 8;
+        n_alu Op.Xor (Dfg.Node 1) (Dfg.Input 1) 8;
+        n_alu Op.Nor (Dfg.Node 2) (Dfg.Input 0) 8;
+      |]
+  in
+  check_int "four chained logic ops = 16" 16 (Lut.cost four);
+  (* an adder between logic ops splits the groups *)
+  let split =
+    Dfg.make ~n_inputs:2
+      [|
+        n_alu Op.And (Dfg.Input 0) (Dfg.Input 1) 8;
+        n_alu Op.Addu (Dfg.Node 0) (Dfg.Input 1) 8;
+        n_alu Op.Or (Dfg.Node 1) (Dfg.Input 0) 8;
+      |]
+  in
+  check_int "split groups: 8 + 8 + 8" 24 (Lut.cost split)
+
+let test_node_costs_sum () =
+  let d =
+    Dfg.make ~n_inputs:2
+      [|
+        n_shift Op.Sll (Dfg.Input 0) (Dfg.Const 2) 12;
+        n_alu Op.Addu (Dfg.Node 0) (Dfg.Input 1) 14;
+        n_alu Op.And (Dfg.Node 1) (Dfg.Const 255) 14;
+      |]
+  in
+  let costs = Lut.node_costs d in
+  check_int "per-node sums to total" (Lut.cost d)
+    (Array.fold_left ( + ) 0 costs);
+  check_int "shift node free" 0 costs.(0);
+  check_int "add node" 14 costs.(1)
+
+let test_width_clamp () =
+  let d =
+    Dfg.make ~n_inputs:2 [| n_alu Op.Addu (Dfg.Input 0) (Dfg.Input 1) 99 |]
+  in
+  check_int "width clamped to 32" 32 (Lut.cost d);
+  let z =
+    Dfg.make ~n_inputs:2 [| n_alu Op.Addu (Dfg.Input 0) (Dfg.Input 1) 0 |]
+  in
+  check_int "width clamped to 1" 1 (Lut.cost z)
+
+let test_fits () =
+  let wide =
+    Dfg.make ~n_inputs:2
+      (Array.init 8 (fun i ->
+           n_alu Op.Addu
+             (if i = 0 then Dfg.Input 0 else Dfg.Node (i - 1))
+             (Dfg.Input 1) 32))
+  in
+  check_bool "8 32-bit adds exceed 150" false (Lut.fits wide);
+  check_bool "with a bigger budget" true (Lut.fits ~budget:300 wide);
+  check_int "default budget" 150 Lut.default_budget
+
+let test_delay_model () =
+  (* a 2-op add chain: 2 + 2 = 4 LUT levels -> exactly one cycle at the
+     default 4 levels/cycle; a 4-op add chain: 8 levels -> 2 cycles *)
+  let chain k =
+    Dfg.make ~n_inputs:2
+      (Array.init k (fun i ->
+           n_alu Op.Addu
+             (if i = 0 then Dfg.Input 0 else Dfg.Node (i - 1))
+             (Dfg.Input 1) 12))
+  in
+  check_int "2 adds = 4 levels" 4 (Lut.levels (chain 2));
+  check_int "1 cycle" 1 (Lut.latency_estimate (chain 2));
+  check_int "4 adds = 8 levels" 8 (Lut.levels (chain 4));
+  check_int "2 cycles" 2 (Lut.latency_estimate (chain 4));
+  (* constant shifts add no delay *)
+  let shifty =
+    Dfg.make ~n_inputs:1
+      [|
+        n_shift Op.Sll (Dfg.Input 0) (Dfg.Const 4) 12;
+        n_shift Op.Srl (Dfg.Node 0) (Dfg.Const 2) 12;
+      |]
+  in
+  check_int "wiring only" 0 (Lut.levels shifty);
+  check_int "still at least 1 cycle" 1 (Lut.latency_estimate shifty);
+  (* chained logic shares levels like it shares LUTs *)
+  let logic3 =
+    Dfg.make ~n_inputs:2
+      [|
+        n_alu Op.And (Dfg.Input 0) (Dfg.Input 1) 8;
+        n_alu Op.Or (Dfg.Node 0) (Dfg.Input 0) 8;
+        n_alu Op.Xor (Dfg.Node 1) (Dfg.Input 1) 8;
+      |]
+  in
+  check_int "3 chained logic ops = 1 level" 1 (Lut.levels logic3);
+  check_int "levels/cycle override" 2
+    (Lut.latency_estimate ~levels_per_cycle:2 (chain 2))
+
+let test_histogram () =
+  let h = Area.histogram ~bin_width:10 [ 0; 5; 10; 25; 105 ] in
+  check_int "bin 0" 2 h.Area.bins.(0);
+  check_int "bin 1" 1 h.Area.bins.(1);
+  check_int "bin 2" 1 h.Area.bins.(2);
+  check_int "bin 10" 1 h.Area.bins.(10);
+  check_int "max" 105 h.Area.max_cost;
+  check_int "total" 5 h.Area.total;
+  check_bool "negative rejected" true
+    (match Area.histogram [ -1 ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "bad width rejected" true
+    (match Area.histogram ~bin_width:0 [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* rendering doesn't raise *)
+  ignore (Format.asprintf "%a" Area.pp h)
+
+let () =
+  Alcotest.run "t1000_hwcost"
+    [
+      ( "lut",
+        [
+          Alcotest.test_case "adder" `Quick test_adder_cost;
+          Alcotest.test_case "const shift" `Quick test_const_shift_free;
+          Alcotest.test_case "variable shift" `Quick test_variable_shift;
+          Alcotest.test_case "slt" `Quick test_slt_cost;
+          Alcotest.test_case "logic packing" `Quick test_logic_packing;
+          Alcotest.test_case "node costs sum" `Quick test_node_costs_sum;
+          Alcotest.test_case "width clamp" `Quick test_width_clamp;
+          Alcotest.test_case "fits" `Quick test_fits;
+          Alcotest.test_case "delay model" `Quick test_delay_model;
+        ] );
+      ("area", [ Alcotest.test_case "histogram" `Quick test_histogram ]);
+    ]
