@@ -1,0 +1,35 @@
+.PHONY: all build test fmt smoke speed ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Formatting check; skipped (with a notice) when ocamlformat is not
+# installed, since the container image does not ship it.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+# Cheap end-to-end smoke of the experiment engine: Figure 2 on a
+# reduced workload set, sequentially and on 4 workers.
+smoke:
+	T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=1 dune exec bench/main.exe -- f2
+	T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=4 dune exec bench/main.exe -- f2
+
+# Full engine timing: sequential vs parallel over every paper artifact
+# and ablation; writes BENCH_engine.json.
+speed:
+	dune exec bench/main.exe -- speed
+
+ci:
+	./ci.sh
+
+clean:
+	dune clean

@@ -8,11 +8,38 @@
      dune exec bench/main.exe -- f2        # one artifact (f2 t41 f6 s52 f7)
      dune exec bench/main.exe -- a1        # one ablation  (a1..a5)
      dune exec bench/main.exe -- paper     # paper artifacts only
-     dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- speed     # engine timing -> BENCH_engine.json
+
+   Environment:
+     T1000_NJOBS      worker count for the experiment engine (1 = serial)
+     T1000_WORKLOADS  comma-separated subset of the benchmark suite,
+                      e.g. T1000_WORKLOADS=unepic,epic for a smoke run *)
 
 open T1000
 
-let ctx = lazy (Experiment.create_ctx ())
+let suite_workloads () =
+  match Sys.getenv_opt "T1000_WORKLOADS" with
+  | None -> T1000_workloads.Registry.all
+  | Some s ->
+      let names =
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun n -> n <> "")
+      in
+      if names = [] then T1000_workloads.Registry.all
+      else
+        List.map
+          (fun n ->
+            match T1000_workloads.Registry.find n with
+            | Some w -> w
+            | None ->
+                Format.eprintf "unknown workload %S (known: %s)@." n
+                  (String.concat ", " T1000_workloads.Registry.names);
+                exit 2)
+          names
+
+let ctx = lazy (Experiment.create_ctx ~workloads:(suite_workloads ()) ())
 
 let banner title = Format.printf "@.==== %s ====@.@." title
 
@@ -169,6 +196,93 @@ let run_perf () =
       | Some _ | None -> Format.printf "%-32s (no estimate)@." name)
     results
 
+(* ---- engine speed benchmark (the `speed` target) ----
+
+   Times the full paper-artifact suite twice -- once sequentially
+   (T1000_NJOBS=1) and once on the worker pool -- with a fresh
+   experiment context per leg so every leg pays the full analysis,
+   selection and simulation cost, and writes BENCH_engine.json so the
+   perf trajectory survives across PRs. *)
+
+let speed_artifacts : (string * (Experiment.ctx -> unit)) list =
+  [
+    ("f2", fun c -> ignore (Experiment.figure2 c));
+    ("t41", fun c -> ignore (Experiment.table41 c));
+    ("f6", fun c -> ignore (Experiment.figure6 c));
+    ("s52", fun c -> ignore (Experiment.penalty_sweep c));
+    ("f7", fun c -> ignore (Experiment.figure7 c));
+    ("a1", fun c -> ignore (Experiment.pfu_count_sweep c));
+    ("a2", fun c -> ignore (Experiment.width_threshold_sweep c));
+    ("a3", fun c -> ignore (Experiment.gain_threshold_sweep c));
+    ("a4", fun c -> ignore (Experiment.replacement_sweep c));
+    ("a5", fun c -> ignore (Experiment.machine_sweep c));
+    ("a6", fun c -> ignore (Experiment.latency_model_sweep c));
+    ("a7", fun c -> ignore (Experiment.branch_predictor_sweep c));
+    ("a8", fun c -> ignore (Experiment.prefetch_sweep c));
+  ]
+
+let time_suite ~njobs =
+  Unix.putenv "T1000_NJOBS" (string_of_int njobs);
+  let ctx = Experiment.create_ctx ~workloads:(suite_workloads ()) () in
+  let timings =
+    List.map
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        f ctx;
+        let dt = Unix.gettimeofday () -. t0 in
+        Format.printf "  njobs=%-2d %-4s %8.2f s@." njobs name dt;
+        (name, dt))
+      speed_artifacts
+  in
+  (List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timings, timings)
+
+let json_of_leg oc ~njobs ~total timings =
+  Printf.fprintf oc
+    "{ \"njobs\": %d, \"total_s\": %.3f, \"artifacts\": { %s } }" njobs total
+    (String.concat ", "
+       (List.map
+          (fun (name, dt) -> Printf.sprintf "\"%s\": %.3f" name dt)
+          timings))
+
+let run_speed () =
+  banner "SPEED: experiment-engine wall clock (sequential vs parallel)";
+  let saved_njobs = Sys.getenv_opt "T1000_NJOBS" in
+  let par_njobs =
+    match saved_njobs with
+    | Some s when (try int_of_string (String.trim s) > 1 with _ -> false) ->
+        int_of_string (String.trim s)
+    | Some _ | None -> max 4 (Domain.recommended_domain_count ())
+  in
+  let seq_total, seq_timings = time_suite ~njobs:1 in
+  let par_total, par_timings = time_suite ~njobs:par_njobs in
+  (match saved_njobs with
+  | Some s -> Unix.putenv "T1000_NJOBS" s
+  | None -> Unix.putenv "T1000_NJOBS" "")
+  ;
+  let speedup = if par_total > 0.0 then seq_total /. par_total else 0.0 in
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- speed\",\n\
+    \  \"recommended_domain_count\": %d,\n\
+    \  \"workloads\": [ %s ],\n\
+    \  \"sequential\": "
+    (Domain.recommended_domain_count ())
+    (String.concat ", "
+       (List.map
+          (fun (w : T1000_workloads.Workload.t) ->
+            Printf.sprintf "\"%s\"" w.T1000_workloads.Workload.name)
+          (suite_workloads ())));
+  json_of_leg oc ~njobs:1 ~total:seq_total seq_timings;
+  Printf.fprintf oc ",\n  \"parallel\": ";
+  json_of_leg oc ~njobs:par_njobs ~total:par_total par_timings;
+  Printf.fprintf oc ",\n  \"speedup\": %.3f\n}\n" speedup;
+  close_out oc;
+  Format.printf
+    "@.sequential %.2f s | parallel (njobs=%d) %.2f s | speedup %.2fx@.wrote \
+     BENCH_engine.json@."
+    seq_total par_njobs par_total speedup
+
 let paper () =
   run_f2 ();
   run_t41 ();
@@ -211,10 +325,11 @@ let () =
           | "paper" -> paper ()
           | "ablations" -> ablations ()
           | "perf" -> run_perf ()
+          | "speed" -> run_speed ()
           | other ->
               Format.eprintf
                 "unknown experiment %S (expected f2 t41 f6 s52 f7 a1-a8 \
-                 paper ablations perf)@."
+                 paper ablations perf speed)@."
                 other;
               exit 2)
         args

@@ -251,7 +251,13 @@ let dot_cmd =
 (* ---- experiment ---- *)
 
 let experiment_cmd =
-  let run ids =
+  let run jobs ids =
+    (match jobs with
+    | Some n when n < 1 ->
+        Format.eprintf "t1000_cli: -j/--jobs must be >= 1, got %d@." n;
+        exit 2
+    | Some n -> Unix.putenv "T1000_NJOBS" (string_of_int n)
+    | None -> ());
     let ctx = T1000.Experiment.create_ctx () in
     let dispatch = function
       | "f2" ->
@@ -278,9 +284,18 @@ let experiment_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"ID" ~doc:"Experiment ids: f2 t41 f6 s52 f7.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the experiment engine (overrides \
+             $(b,T1000_NJOBS); 1 = sequential).")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures.")
-    Term.(const run $ ids)
+    Term.(const run $ jobs $ ids)
 
 let () =
   let doc =

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 gate for the T1000 repo: build, tests, formatting (when the
+# formatter is available), and a cheap smoke of the parallel experiment
+# engine so regressions there are caught without paying for the full
+# artifact suite.
+set -eu
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== fmt =="
+if command -v ocamlformat >/dev/null 2>&1; then
+  dune build @fmt
+else
+  echo "ocamlformat not installed, skipping"
+fi
+
+echo "== smoke: figure 2 on a reduced suite, sequential and parallel =="
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=1 dune exec bench/main.exe -- f2
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=4 dune exec bench/main.exe -- f2
+
+echo "== ci ok =="

@@ -1,45 +1,104 @@
 open T1000_ooo
 open T1000_workloads
 
+(* Selection-cache key: the selection-relevant subset of a
+   Runner.setup.  Penalty, replacement policy, timing model, prefetch
+   and machine shape all affect only the simulation, not which table
+   Runner.select_table returns, so sweeps over those parameters share
+   one cached table per workload. *)
+type sel_key =
+  | Kgreedy of T1000_dfg.Extract.config * int
+  | Kselective of T1000_dfg.Extract.config * float * int * int option
+
+let sel_key (s : Runner.setup) =
+  match s.Runner.method_ with
+  | Runner.Baseline -> None
+  | Runner.Greedy -> Some (Kgreedy (s.Runner.extract, s.Runner.lut_budget))
+  | Runner.Selective ->
+      Some
+        (Kselective
+           ( s.Runner.extract,
+             s.Runner.gain_threshold,
+             s.Runner.lut_budget,
+             s.Runner.n_pfus ))
+
 type ctx = {
   suite : Workload.t list;
-  analyses : (string, Runner.analysis) Hashtbl.t;
-  baselines : (string, Runner.run) Hashtbl.t;
+  analyses : (string, Runner.analysis) Memo.t;
+  baselines : (string, Runner.run) Memo.t;
+  tables : (string * sel_key, T1000_select.Extinstr.t) Memo.t;
 }
 
 let create_ctx ?(workloads = Registry.all) () =
   {
     suite = workloads;
-    analyses = Hashtbl.create 8;
-    baselines = Hashtbl.create 8;
+    analyses = Memo.create 8;
+    baselines = Memo.create 8;
+    tables = Memo.create 32;
   }
 
 let workloads ctx = ctx.suite
 
 let analysis ctx (w : Workload.t) =
-  match Hashtbl.find_opt ctx.analyses w.Workload.name with
-  | Some a -> a
-  | None ->
-      let a = Runner.analyze w in
-      Hashtbl.replace ctx.analyses w.Workload.name a;
-      a
+  Memo.find_or_compute ctx.analyses w.Workload.name (fun () -> Runner.analyze w)
 
 let baseline ctx (w : Workload.t) =
-  match Hashtbl.find_opt ctx.baselines w.Workload.name with
-  | Some r -> r
-  | None ->
-      let r =
-        Runner.run ~analysis:(analysis ctx w) w (Runner.setup Runner.Baseline)
-      in
-      Hashtbl.replace ctx.baselines w.Workload.name r;
-      r
+  Memo.find_or_compute ctx.baselines w.Workload.name (fun () ->
+      Runner.run ~analysis:(analysis ctx w) w (Runner.setup Runner.Baseline))
 
 let baseline_stats ctx w = (baseline ctx w).Runner.stats
-let run_setup ctx w setup = Runner.run ~analysis:(analysis ctx w) w setup
+
+let selection_table ctx (w : Workload.t) s =
+  match sel_key s with
+  | None -> T1000_select.Extinstr.empty
+  | Some k ->
+      Memo.find_or_compute ctx.tables
+        (w.Workload.name, k)
+        (fun () -> Runner.select_table s (analysis ctx w))
+
+let run_setup ctx (w : Workload.t) s =
+  Runner.run ~analysis:(analysis ctx w) ~table:(selection_table ctx w s) w s
 
 let speedup_of ctx w setup =
   let r = run_setup ctx w setup in
   Runner.speedup ~baseline:(baseline ctx w) r
+
+(* -------- parallel fan-out over (workload x point) tasks -------- *)
+
+let chunk n xs =
+  let rec take k xs acc =
+    if k = 0 then (List.rev acc, xs)
+    else
+      match xs with
+      | [] -> invalid_arg "Experiment.chunk"
+      | x :: tl -> take (k - 1) tl (x :: acc)
+  in
+  let rec go xs acc =
+    match xs with
+    | [] -> List.rev acc
+    | _ ->
+        let c, rest = take n xs [] in
+        go rest (c :: acc)
+  in
+  go xs []
+
+(* Evaluate [eval w p] for every workload of the suite and every point,
+   fanned out over the worker pool as independent (workload x point)
+   tasks, and regroup the results into one per-workload row in suite
+   order.  Determinism: every task is a pure function of (w, p) — the
+   shared memo tables only change *when* a value is computed, never
+   what it is — so the rows are identical at any worker count. *)
+let map_suite_points ctx points eval =
+  match points with
+  | [] -> List.map (fun w -> (w, [])) ctx.suite
+  | _ ->
+      let tasks =
+        List.concat_map
+          (fun w -> List.map (fun p -> (w, p)) points)
+          ctx.suite
+      in
+      let vals = Pool.parallel_map (fun (w, p) -> eval w p) tasks in
+      List.combine ctx.suite (chunk (List.length points) vals)
 
 (* -------- Figure 2 -------- *)
 
@@ -50,17 +109,20 @@ type f2_row = {
 }
 
 let figure2 ctx =
-  List.map
-    (fun w ->
-      {
-        f2_name = w.Workload.name;
-        f2_greedy_unlimited =
-          speedup_of ctx w (Runner.setup ~n_pfus:None ~penalty:0 Runner.Greedy);
-        f2_greedy_2pfu =
-          speedup_of ctx w
-            (Runner.setup ~n_pfus:(Some 2) ~penalty:10 Runner.Greedy);
-      })
-    ctx.suite
+  map_suite_points ctx
+    [
+      Runner.setup ~n_pfus:None ~penalty:0 Runner.Greedy;
+      Runner.setup ~n_pfus:(Some 2) ~penalty:10 Runner.Greedy;
+    ]
+    (fun w s -> speedup_of ctx w s)
+  |> List.map (function
+       | (w : Workload.t), [ unlimited; two_pfu ] ->
+           {
+             f2_name = w.Workload.name;
+             f2_greedy_unlimited = unlimited;
+             f2_greedy_2pfu = two_pfu;
+           }
+       | _ -> assert false)
 
 (* -------- Section 4.1 table -------- *)
 
@@ -73,13 +135,12 @@ type t41_row = {
 }
 
 let table41 ctx =
-  List.map
-    (fun w ->
-      let a = analysis ctx w in
-      let r =
-        T1000_select.Greedy.select a.Runner.cfg a.Runner.live a.Runner.profile
+  Pool.parallel_map
+    (fun (w : Workload.t) ->
+      let table =
+        selection_table ctx w (Runner.setup ~n_pfus:None Runner.Greedy)
       in
-      let entries = T1000_select.Extinstr.entries r.T1000_select.Greedy.table in
+      let entries = T1000_select.Extinstr.entries table in
       let sizes =
         List.map
           (fun e -> T1000_dfg.Dfg.size e.T1000_select.Extinstr.dfg)
@@ -88,10 +149,14 @@ let table41 ctx =
       {
         t41_name = w.Workload.name;
         t41_distinct = List.length entries;
-        t41_shortest = List.fold_left min max_int sizes;
+        (* An empty selection has no shortest/longest sequence; report 0
+           rather than the fold seeds (max_int / 0). *)
+        t41_shortest =
+          (match sizes with
+          | [] -> 0
+          | _ -> List.fold_left min max_int sizes);
         t41_longest = List.fold_left max 0 sizes;
-        t41_occurrences =
-          T1000_select.Extinstr.total_occurrences r.T1000_select.Greedy.table;
+        t41_occurrences = T1000_select.Extinstr.total_occurrences table;
       })
     ctx.suite
 
@@ -105,16 +170,19 @@ type f6_row = {
 }
 
 let figure6 ctx =
-  List.map
-    (fun w ->
-      let sel n = Runner.setup ~n_pfus:n ~penalty:10 Runner.Selective in
-      {
-        f6_name = w.Workload.name;
-        f6_sel_2 = speedup_of ctx w (sel (Some 2));
-        f6_sel_4 = speedup_of ctx w (sel (Some 4));
-        f6_sel_unlimited = speedup_of ctx w (sel None);
-      })
-    ctx.suite
+  let sel n = Runner.setup ~n_pfus:n ~penalty:10 Runner.Selective in
+  map_suite_points ctx
+    [ sel (Some 2); sel (Some 4); sel None ]
+    (fun w s -> speedup_of ctx w s)
+  |> List.map (function
+       | (w : Workload.t), [ two; four; unlimited ] ->
+           {
+             f6_name = w.Workload.name;
+             f6_sel_2 = two;
+             f6_sel_4 = four;
+             f6_sel_unlimited = unlimited;
+           }
+       | _ -> assert false)
 
 (* -------- Section 5.2 penalty sweep -------- *)
 
@@ -124,21 +192,14 @@ type s52_row = {
 }
 
 let penalty_sweep ?(penalties = [ 10; 50; 100; 250; 500 ]) ctx =
-  List.map
-    (fun w ->
-      {
-        s52_name = w.Workload.name;
-        s52_points =
-          List.map
-            (fun p ->
-              ( p,
-                speedup_of ctx w
-                  (Runner.setup ~n_pfus:(Some 2) ~penalty:p Runner.Selective),
-                speedup_of ctx w
-                  (Runner.setup ~n_pfus:(Some 2) ~penalty:p Runner.Greedy) ))
-            penalties;
-      })
-    ctx.suite
+  map_suite_points ctx penalties (fun w p ->
+      ( p,
+        speedup_of ctx w
+          (Runner.setup ~n_pfus:(Some 2) ~penalty:p Runner.Selective),
+        speedup_of ctx w
+          (Runner.setup ~n_pfus:(Some 2) ~penalty:p Runner.Greedy) ))
+  |> List.map (fun ((w : Workload.t), points) ->
+         { s52_name = w.Workload.name; s52_points = points })
 
 (* -------- Figure 7 -------- *)
 
@@ -150,8 +211,8 @@ type f7_result = {
 
 let figure7 ctx =
   let costs =
-    List.map
-      (fun w ->
+    Pool.parallel_map
+      (fun (w : Workload.t) ->
         let r =
           run_setup ctx w (Runner.setup ~n_pfus:(Some 4) Runner.Selective)
         in
@@ -175,59 +236,34 @@ type sweep_row = {
   sweep_points : (string * float) list;
 }
 
+(* Sweeps that report (label, speedup) points per workload. *)
+let sweep_rows ctx points eval =
+  map_suite_points ctx points eval
+  |> List.map (fun ((w : Workload.t), row) ->
+         { sweep_name = w.Workload.name; sweep_points = row })
+
 let pfu_count_sweep ?(counts = [ 1; 2; 3; 4; 6; 8 ]) ctx =
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.map
-            (fun n ->
-              ( string_of_int n,
-                speedup_of ctx w
-                  (Runner.setup ~n_pfus:(Some n) Runner.Selective) ))
-            counts;
-      })
-    ctx.suite
+  sweep_rows ctx counts (fun w n ->
+      ( string_of_int n,
+        speedup_of ctx w (Runner.setup ~n_pfus:(Some n) Runner.Selective) ))
 
 let width_threshold_sweep ?(widths = [ 8; 12; 18; 24; 32 ]) ctx =
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.map
-            (fun width ->
-              let s = Runner.setup ~n_pfus:None ~penalty:0 Runner.Greedy in
-              let s =
-                {
-                  s with
-                  Runner.extract =
-                    {
-                      s.Runner.extract with
-                      T1000_dfg.Extract.width_threshold = width;
-                    };
-                }
-              in
-              (string_of_int width, speedup_of ctx w s))
-            widths;
-      })
-    ctx.suite
+  sweep_rows ctx widths (fun w width ->
+      let s = Runner.setup ~n_pfus:None ~penalty:0 Runner.Greedy in
+      let s =
+        {
+          s with
+          Runner.extract =
+            { s.Runner.extract with T1000_dfg.Extract.width_threshold = width };
+        }
+      in
+      (string_of_int width, speedup_of ctx w s))
 
 let gain_threshold_sweep ?(thresholds = [ 0.001; 0.005; 0.02 ]) ctx =
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.map
-            (fun th ->
-              let s = Runner.setup ~n_pfus:(Some 2) Runner.Selective in
-              let s = { s with Runner.gain_threshold = th } in
-              (Printf.sprintf "%.3f" th, speedup_of ctx w s))
-            thresholds;
-      })
-    ctx.suite
+  sweep_rows ctx thresholds (fun w th ->
+      let s = Runner.setup ~n_pfus:(Some 2) Runner.Selective in
+      let s = { s with Runner.gain_threshold = th } in
+      (Printf.sprintf "%.3f" th, speedup_of ctx w s))
 
 let replacement_sweep ctx =
   let policies =
@@ -237,19 +273,10 @@ let replacement_sweep ctx =
       ("rand", Mconfig.Random_det);
     ]
   in
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.map
-            (fun (label, pol) ->
-              let s = Runner.setup ~n_pfus:(Some 2) Runner.Selective in
-              let s = { s with Runner.replacement = pol } in
-              (label, speedup_of ctx w s))
-            policies;
-      })
-    ctx.suite
+  sweep_rows ctx policies (fun w (label, pol) ->
+      let s = Runner.setup ~n_pfus:(Some 2) Runner.Selective in
+      let s = { s with Runner.replacement = pol } in
+      (label, speedup_of ctx w s))
 
 let machine_sweep ctx =
   let machines =
@@ -279,92 +306,55 @@ let machine_sweep ctx =
         } );
     ]
   in
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.map
-            (fun (label, m) ->
-              (* Compare like with like: the no-PFU baseline must run on
-                 the same machine width. *)
-              let base_setup =
-                { (Runner.setup Runner.Baseline) with Runner.machine = m }
-              in
-              let sel_setup =
-                {
-                  (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
-                  Runner.machine = m;
-                }
-              in
-              let b = run_setup ctx w base_setup in
-              let r = run_setup ctx w sel_setup in
-              (label, Runner.speedup ~baseline:b r))
-            machines;
-      })
-    ctx.suite
+  sweep_rows ctx machines (fun w (label, m) ->
+      (* Compare like with like: the no-PFU baseline must run on the
+         same machine width. *)
+      let base_setup =
+        { (Runner.setup Runner.Baseline) with Runner.machine = m }
+      in
+      let sel_setup =
+        {
+          (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
+          Runner.machine = m;
+        }
+      in
+      let b = run_setup ctx w base_setup in
+      let r = run_setup ctx w sel_setup in
+      (label, Runner.speedup ~baseline:b r))
 
 let latency_model_sweep ctx =
   let models = [ ("1-cycle", `Single_cycle); ("lut-levels", `Lut_levels) ] in
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.map
-            (fun (label, m) ->
-              let s = Runner.setup ~n_pfus:(Some 4) Runner.Selective in
-              let s = { s with Runner.ext_timing = m } in
-              (label, speedup_of ctx w s))
-            models;
-      })
-    ctx.suite
+  sweep_rows ctx models (fun w (label, m) ->
+      let s = Runner.setup ~n_pfus:(Some 4) Runner.Selective in
+      let s = { s with Runner.ext_timing = m } in
+      (label, speedup_of ctx w s))
 
 let branch_predictor_sweep ctx =
   let preds =
     [ ("perfect", Mconfig.Perfect); ("bimodal-2k", Mconfig.Bimodal 2048) ]
   in
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.map
-            (fun (label, bp) ->
-              let machine = { Mconfig.default with Mconfig.branch_pred = bp } in
-              let base_setup =
-                { (Runner.setup Runner.Baseline) with Runner.machine = machine }
-              in
-              let sel_setup =
-                {
-                  (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
-                  Runner.machine = machine;
-                }
-              in
-              let b = run_setup ctx w base_setup in
-              let r = run_setup ctx w sel_setup in
-              (label, Runner.speedup ~baseline:b r))
-            preds;
-      })
-    ctx.suite
+  sweep_rows ctx preds (fun w (label, bp) ->
+      let machine = { Mconfig.default with Mconfig.branch_pred = bp } in
+      let base_setup =
+        { (Runner.setup Runner.Baseline) with Runner.machine }
+      in
+      let sel_setup =
+        {
+          (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
+          Runner.machine;
+        }
+      in
+      let b = run_setup ctx w base_setup in
+      let r = run_setup ctx w sel_setup in
+      (label, Runner.speedup ~baseline:b r))
 
 let prefetch_sweep ?(penalties = [ 100; 500 ]) ctx =
-  List.map
-    (fun w ->
-      {
-        sweep_name = w.Workload.name;
-        sweep_points =
-          List.concat_map
-            (fun pen ->
-              List.map
-                (fun (label, pf) ->
-                  let s =
-                    Runner.setup ~n_pfus:(Some 2) ~penalty:pen
-                      Runner.Selective
-                  in
-                  let s = { s with Runner.config_prefetch = pf } in
-                  (Printf.sprintf "%d%s" pen label, speedup_of ctx w s))
-                [ ("cyc", false); ("cyc+pf", true) ])
-            penalties;
-      })
-    ctx.suite
+  let points =
+    List.concat_map
+      (fun pen -> List.map (fun pf -> (pen, pf)) [ ("cyc", false); ("cyc+pf", true) ])
+      penalties
+  in
+  sweep_rows ctx points (fun w (pen, (label, pf)) ->
+      let s = Runner.setup ~n_pfus:(Some 2) ~penalty:pen Runner.Selective in
+      let s = { s with Runner.config_prefetch = pf } in
+      (Printf.sprintf "%d%s" pen label, speedup_of ctx w s))

@@ -5,15 +5,38 @@
 
 open T1000_workloads
 
-(** Per-suite memo of analyses and baseline runs, so a batch of
-    experiments profiles and simulates each workload's baseline once. *)
+(** Per-suite memo of analyses, baseline runs and selection tables, so
+    a batch of experiments profiles and simulates each workload's
+    baseline once and selects each distinct table once.  All memo
+    tables are compute-once and domain-safe ({!Memo}): the sweep
+    drivers below fan their (workload x configuration) points out over
+    the {!Pool} worker pool ([T1000_NJOBS] workers) and still return
+    exactly the rows a sequential run returns. *)
 type ctx
 
 val create_ctx : ?workloads:Workload.t list -> unit -> ctx
 (** Defaults to the full 8-benchmark suite ({!Registry.all}). *)
 
 val workloads : ctx -> Workload.t list
+val analysis : ctx -> Workload.t -> Runner.analysis
+val baseline : ctx -> Workload.t -> Runner.run
 val baseline_stats : ctx -> Workload.t -> T1000_ooo.Stats.t
+
+val selection_table :
+  ctx -> Workload.t -> Runner.setup -> T1000_select.Extinstr.t
+(** The setup's extended-instruction table, cached per workload on the
+    selection-relevant subset of the setup ([method_], [n_pfus],
+    [extract], [gain_threshold], [lut_budget]).  Two setups differing
+    only in simulation parameters (penalty, replacement, timing model,
+    machine, prefetch) share the {e physically same} table, so e.g. a
+    penalty sweep runs instruction selection once per workload. *)
+
+val run_setup : ctx -> Workload.t -> Runner.setup -> Runner.run
+(** {!Runner.run} with the ctx's cached analysis and selection table. *)
+
+val speedup_of : ctx -> Workload.t -> Runner.setup -> float
+(** Speedup of [run_setup] over the workload's cached default-machine
+    baseline. *)
 
 (** {1 Figure 2 — greedy selection} *)
 
@@ -31,8 +54,12 @@ val figure2 : ctx -> f2_row list
 type t41_row = {
   t41_name : string;
   t41_distinct : int;  (** distinct extended instructions (paper: 6-43) *)
-  t41_shortest : int;  (** shortest sequence length (paper: 2) *)
-  t41_longest : int;  (** longest sequence length (paper: up to 8) *)
+  t41_shortest : int;
+      (** shortest sequence length (paper: 2); 0 when the selection is
+          empty *)
+  t41_longest : int;
+      (** longest sequence length (paper: up to 8); 0 when the
+          selection is empty *)
   t41_occurrences : int;  (** static occurrence sites *)
 }
 

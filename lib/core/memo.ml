@@ -1,0 +1,56 @@
+type 'v cell =
+  | Pending
+  | Done of 'v
+
+type ('k, 'v) t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  tbl : ('k, 'v cell) Hashtbl.t;
+}
+
+let create n =
+  { mutex = Mutex.create (); cond = Condition.create (); tbl = Hashtbl.create n }
+
+let find_or_compute t k f =
+  Mutex.lock t.mutex;
+  let rec claim () =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Done v) ->
+        Mutex.unlock t.mutex;
+        `Hit v
+    | Some Pending ->
+        Condition.wait t.cond t.mutex;
+        claim ()
+    | None ->
+        Hashtbl.replace t.tbl k Pending;
+        Mutex.unlock t.mutex;
+        `Compute
+  in
+  match claim () with
+  | `Hit v -> v
+  | `Compute -> (
+      match f () with
+      | v ->
+          Mutex.lock t.mutex;
+          Hashtbl.replace t.tbl k (Done v);
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex;
+          v
+      | exception e ->
+          (* Clear the pending slot so waiters retry (and so a later
+             call can attempt the computation again). *)
+          Mutex.lock t.mutex;
+          Hashtbl.remove t.tbl k;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mutex;
+          raise e)
+
+let length t =
+  Mutex.lock t.mutex;
+  let n =
+    Hashtbl.fold
+      (fun _ c acc -> match c with Done _ -> acc + 1 | Pending -> acc)
+      t.tbl 0
+  in
+  Mutex.unlock t.mutex;
+  n

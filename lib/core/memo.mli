@@ -1,0 +1,24 @@
+(** A compute-once memo table safe to share across {!Pool} workers.
+
+    [find_or_compute] guarantees each key's value is computed by
+    exactly one domain; concurrent requesters for the same key block
+    until the computation finishes and then share the {e same} value
+    (physical equality), which is what lets {!Experiment} assert that a
+    penalty sweep runs instruction selection once per workload rather
+    than once per swept point. *)
+
+type ('k, 'v) t
+
+val create : int -> ('k, 'v) t
+(** [create n] is an empty table with initial capacity [n]. *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** [find_or_compute t k f] returns the cached value for [k], or runs
+    [f ()] (outside the table lock, so independent keys compute in
+    parallel) and caches it.  If another domain is already computing
+    [k], the caller waits for that result instead of recomputing.  If
+    [f] raises, the pending slot is cleared (a later caller may retry)
+    and the exception propagates to everyone waiting. *)
+
+val length : ('k, 'v) t -> int
+(** Number of cached (completed) bindings. *)

@@ -1,0 +1,65 @@
+let default_njobs () =
+  match Sys.getenv_opt "T1000_NJOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s when String.trim s = "" -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "T1000_NJOBS must be a positive integer, got %S" s))
+
+let parallel_map ?njobs f xs =
+  let njobs =
+    match njobs with Some n -> max 1 n | None -> default_njobs ()
+  in
+  match xs with
+  | [] -> []
+  | xs when njobs = 1 -> List.map f xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      (* (index, exn) of every failed task; the lowest index wins so
+         the surfaced exception does not depend on scheduling. *)
+      let failures = Atomic.make [] in
+      let record i e =
+        let rec loop () =
+          let old = Atomic.get failures in
+          if not (Atomic.compare_and_set failures old ((i, e) :: old)) then
+            loop ()
+        in
+        loop ();
+        (* Abandon unclaimed tasks: workers drain on the next fetch. *)
+        Atomic.set next n
+      in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            match f input.(i) with
+            | v -> results.(i) <- Some v
+            | exception e -> record i e
+        done
+      in
+      let domains =
+        List.init (min njobs n - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join domains;
+      (match Atomic.get failures with
+      | [] -> ()
+      | fs ->
+          let _, e =
+            List.fold_left
+              (fun (bi, be) (i, e) -> if i < bi then (i, e) else (bi, be))
+              (List.hd fs) (List.tl fs)
+          in
+          raise e);
+      Array.to_list
+        (Array.map
+           (function Some v -> v | None -> assert false)
+           results)

@@ -1,0 +1,38 @@
+(** A small OCaml 5 [Domain]-based worker pool for the experiment
+    engine.
+
+    Every sweep in {!Experiment} is a bag of independent, deterministic
+    (workload x configuration) simulations, so the engine fans them out
+    over domains with {!parallel_map} and reassembles the results in
+    input order.  Because each task is pure (no shared mutable state
+    beyond the mutex-protected memo tables in {!Experiment}), parallel
+    results are bit-identical to sequential ones; the test suite
+    asserts this.
+
+    The default worker count comes from the [T1000_NJOBS] environment
+    variable when set, else {!Domain.recommended_domain_count}.
+    [T1000_NJOBS=1] disables the pool entirely: [parallel_map] then
+    degrades to a plain [List.map] on the calling domain, with no
+    domains spawned. *)
+
+val default_njobs : unit -> int
+(** Worker count used when [?njobs] is not given: the value of the
+    [T1000_NJOBS] environment variable if set and non-empty, else
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument
+      if [T1000_NJOBS] is set to anything other than a positive
+      integer (or the empty string, which counts as unset). *)
+
+val parallel_map : ?njobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map f xs] is [List.map f xs] computed by [njobs] workers
+    (the calling domain plus [njobs - 1] spawned domains) pulling tasks
+    from a shared counter.  Results are returned in input order
+    regardless of completion order.
+
+    If any application of [f] raises, remaining tasks are abandoned,
+    all domains are joined, and the exception raised by the
+    lowest-index failing element is re-raised on the calling domain
+    (deterministic even when several tasks fail).
+
+    With [njobs = 1] (explicitly, or via [T1000_NJOBS=1]) no domain is
+    spawned and the input is mapped sequentially. *)

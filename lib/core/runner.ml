@@ -106,9 +106,11 @@ let select_table s analysis =
       in
       r.Selective.table
 
-let run ?analysis (w : Workload.t) s =
+let run ?analysis ?table (w : Workload.t) s =
   let analysis = match analysis with Some a -> a | None -> analyze w in
-  let table = select_table s analysis in
+  let table =
+    match table with Some t -> t | None -> select_table s analysis
+  in
   let program =
     if Extinstr.count table = 0 then w.Workload.program
     else begin

@@ -62,10 +62,22 @@ type run = {
   stats : Stats.t;
 }
 
-val run : ?analysis:analysis -> Workload.t -> setup -> run
+val select_table : setup -> analysis -> T1000_select.Extinstr.t
+(** Just the instruction-selection step of {!run}: the extended
+    instruction table the setup's method picks.  Depends only on the
+    setup's selection-relevant fields ([method_], [n_pfus], [extract],
+    [gain_threshold], [lut_budget]) — in particular {e not} on
+    [penalty] or [replacement], which is what makes the table cachable
+    across a penalty or replacement sweep ({!Experiment}). *)
+
+val run : ?analysis:analysis -> ?table:T1000_select.Extinstr.t ->
+  Workload.t -> setup -> run
 (** Select, rewrite, and simulate.  The functional outputs of the
     rewritten program are verified against the original's before timing
-    (a safety net for the rewriter); a mismatch raises [Failure]. *)
+    (a safety net for the rewriter); a mismatch raises [Failure].
+    [?table] supplies a precomputed selection (e.g. from the
+    {!Experiment} cache), skipping the selection step; it must be the
+    table {!select_table} would have produced for [s]. *)
 
 val speedup : baseline:run -> run -> float
 

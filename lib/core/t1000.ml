@@ -4,8 +4,14 @@
       (baseline / greedy / selective x PFU count x penalty);
     - {!Experiment} — drivers that regenerate every figure and table of
       the paper, plus the ablations listed in DESIGN.md;
-    - {!Report} — text rendering of experiment results. *)
+    - {!Report} — text rendering of experiment results;
+    - {!Pool} — the [Domain]-based worker pool the experiment engine
+      fans sweeps out on ([T1000_NJOBS] workers);
+    - {!Memo} — the compute-once memo table backing the analysis,
+      baseline and selection caches. *)
 
 module Runner = Runner
 module Experiment = Experiment
 module Report = Report
+module Pool = Pool
+module Memo = Memo

@@ -2,12 +2,6 @@ open T1000_isa
 open T1000_machine
 open T1000_cache
 
-(* In-flight store bookkeeping for perfect memory disambiguation. *)
-type store_rec = {
-  st_seq : int;
-  st_word : int;
-}
-
 let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
     ~init program =
   let mem = Memory.create () in
@@ -45,7 +39,13 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
   let consume () = peeked := None in
   (* Register rename: dependence register -> seq of latest producer. *)
   let producer = Array.make Instr.dep_reg_count (-1) in
-  let stores : store_rec Queue.t = Queue.create () in
+  (* Memory disambiguation: word index -> seq of the youngest store to
+     that word.  Stores commit in order, so if the youngest store to a
+     word has left the window every older one has too — a single
+     youngest-per-word binding replaces scanning all in-flight stores
+     on every load dispatch.  Stale bindings (committed seqs) are
+     filtered by [Ruu.in_flight] at lookup. *)
+  let store_by_word : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let now = ref 0 in
   let committed = ref 0 in
   let ext_committed = ref 0 in
@@ -113,63 +113,90 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
         ignore (Ruu.pop ruu);
         incr committed;
         if e.Ruu.eid >= 0 then incr ext_committed;
-        incr n;
-        (* Prune retired stores. *)
-        while
-          (not (Queue.is_empty stores))
-          && (Queue.peek stores).st_seq < Ruu.head_seq ruu
-        do
-          ignore (Queue.pop stores)
-        done
+        incr n
       end
       else continue := false
     done
   in
 
-  (* Per-cycle functional-unit availability. *)
+  (* Per-cycle functional-unit availability.  [pfu_busy_stamp] is a
+     reusable scratch (stamp = cycle the unit last issued) replacing
+     the per-cycle hashtable the issue stage used to allocate; it grows
+     on demand because an unlimited PFU file assigns one unit per
+     configuration. *)
+  let pfu_busy_stamp = ref (Array.make 16 (-1)) in
+  let pfu_busy unit_id =
+    let a = !pfu_busy_stamp in
+    unit_id < Array.length a && a.(unit_id) = !now
+  in
+  let pfu_mark_busy unit_id =
+    let a = !pfu_busy_stamp in
+    let len = Array.length a in
+    if unit_id >= len then begin
+      let cap = ref (len * 2) in
+      while unit_id >= !cap do
+        cap := !cap * 2
+      done;
+      let b = Array.make !cap (-1) in
+      Array.blit a 0 b 0 len;
+      pfu_busy_stamp := b
+    end;
+    !pfu_busy_stamp.(unit_id) <- !now
+  in
+  (* Entries below [issue_scan_from] are a contiguous already-issued
+     prefix of the window (issue never un-issues, and a reused ring
+     slot gets a fresh, larger seq), so the scan can skip them instead
+     of re-walking the whole RUU from the head every cycle. *)
+  let issue_scan_from = ref 0 in
   let issue_stage () =
     let alu_free = ref mconfig.Mconfig.n_int_alu in
     let mult_free = ref mconfig.Mconfig.n_int_mult in
     let mem_free = ref mconfig.Mconfig.n_mem_ports in
-    let pfu_busy = Hashtbl.create 8 in
     let issued = ref 0 in
-    let seq = ref (Ruu.head_seq ruu) in
+    let seq = ref (max !issue_scan_from (Ruu.head_seq ruu)) in
+    let in_prefix = ref true in
     while !issued < mconfig.Mconfig.issue_width && !seq < Ruu.tail_seq ruu do
       let e = Ruu.get ruu !seq in
-      if entry_ready e then begin
-        let do_issue latency =
-          e.Ruu.issued <- true;
-          e.Ruu.complete_at <- !now + latency;
-          incr issued
-        in
-        (match Instr.fu_class e.Ruu.instr with
-        | Op.Fu_int_alu | Op.Fu_branch ->
-            if !alu_free > 0 then begin
-              decr alu_free;
-              do_issue (Instr.latency e.Ruu.instr)
-            end
-        | Op.Fu_int_mult | Op.Fu_int_div ->
-            if !mult_free > 0 then begin
-              decr mult_free;
-              do_issue (Instr.latency e.Ruu.instr)
-            end
-        | Op.Fu_mem_read ->
-            if !mem_free > 0 then begin
-              decr mem_free;
-              do_issue (Hierarchy.load_latency hier ~addr:e.Ruu.mem_addr)
-            end
-        | Op.Fu_mem_write ->
-            if !mem_free > 0 then begin
-              decr mem_free;
-              do_issue (Hierarchy.store_latency hier ~addr:e.Ruu.mem_addr)
-            end
-        | Op.Fu_pfu ->
-            if not (Hashtbl.mem pfu_busy e.Ruu.pfu_unit) then begin
-              Hashtbl.replace pfu_busy e.Ruu.pfu_unit ();
-              do_issue (ext_latency e.Ruu.eid);
-              Pfu_file.release pfus ~unit_id:e.Ruu.pfu_unit
-            end
-        | Op.Fu_none -> do_issue 1)
+      if e.Ruu.issued then begin
+        if !in_prefix then issue_scan_from := !seq + 1
+      end
+      else begin
+        in_prefix := false;
+        if entry_ready e then begin
+          let do_issue latency =
+            e.Ruu.issued <- true;
+            e.Ruu.complete_at <- !now + latency;
+            incr issued
+          in
+          match Instr.fu_class e.Ruu.instr with
+          | Op.Fu_int_alu | Op.Fu_branch ->
+              if !alu_free > 0 then begin
+                decr alu_free;
+                do_issue (Instr.latency e.Ruu.instr)
+              end
+          | Op.Fu_int_mult | Op.Fu_int_div ->
+              if !mult_free > 0 then begin
+                decr mult_free;
+                do_issue (Instr.latency e.Ruu.instr)
+              end
+          | Op.Fu_mem_read ->
+              if !mem_free > 0 then begin
+                decr mem_free;
+                do_issue (Hierarchy.load_latency hier ~addr:e.Ruu.mem_addr)
+              end
+          | Op.Fu_mem_write ->
+              if !mem_free > 0 then begin
+                decr mem_free;
+                do_issue (Hierarchy.store_latency hier ~addr:e.Ruu.mem_addr)
+              end
+          | Op.Fu_pfu ->
+              if not (pfu_busy e.Ruu.pfu_unit) then begin
+                pfu_mark_busy e.Ruu.pfu_unit;
+                do_issue (ext_latency e.Ruu.eid);
+                Pfu_file.release pfus ~unit_id:e.Ruu.pfu_unit
+              end
+          | Op.Fu_none -> do_issue 1
+        end
       end;
       incr seq
     done
@@ -235,17 +262,15 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
             (* Memory dependence: youngest older store to the same
                word. *)
             (match te.Trace.instr with
-            | Instr.Load _ ->
-                let widx = te.Trace.mem_addr lsr 2 in
-                Queue.iter
-                  (fun s ->
-                    if s.st_word = widx && Ruu.in_flight ruu s.st_seq then
-                      e.Ruu.dep3 <- s.st_seq)
-                  stores
+            | Instr.Load _ -> (
+                match
+                  Hashtbl.find_opt store_by_word (te.Trace.mem_addr lsr 2)
+                with
+                | Some s when Ruu.in_flight ruu s -> e.Ruu.dep3 <- s
+                | Some _ | None -> ())
             | Instr.Store _ ->
-                Queue.push
-                  { st_seq = e.Ruu.seq; st_word = te.Trace.mem_addr lsr 2 }
-                  stores
+                Hashtbl.replace store_by_word (te.Trace.mem_addr lsr 2)
+                  e.Ruu.seq
             | _ -> ());
             List.iter
               (fun d -> producer.(d) <- e.Ruu.seq)

@@ -1,0 +1,195 @@
+(* Tests for the parallel experiment engine: the Domain worker pool
+   (ordering, exception propagation, T1000_NJOBS), the compute-once
+   memo table, the selection-table cache, and — the property everything
+   above exists to preserve — bit-identical experiment rows whether the
+   sweeps run sequentially or fanned out over domains. *)
+
+open T1000
+open T1000_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_njobs v f =
+  let saved = Sys.getenv_opt "T1000_NJOBS" in
+  Unix.putenv "T1000_NJOBS" v;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "T1000_NJOBS"
+        (match saved with Some s -> s | None -> ""))
+    f
+
+(* ---------- Pool ---------- *)
+
+let test_pool_order () =
+  let xs = List.init 1000 Fun.id in
+  let expected = List.map (fun i -> i * i) xs in
+  check_bool "njobs=4 preserves order" true
+    (Pool.parallel_map ~njobs:4 (fun i -> i * i) xs = expected);
+  check_bool "njobs=1 preserves order" true
+    (Pool.parallel_map ~njobs:1 (fun i -> i * i) xs = expected);
+  check_bool "more workers than tasks" true
+    (Pool.parallel_map ~njobs:64 (fun i -> i + 1) [ 1; 2; 3 ] = [ 2; 3; 4 ]);
+  check_bool "empty input" true
+    (Pool.parallel_map ~njobs:4 (fun i -> i) [] = [])
+
+let test_pool_exception () =
+  (* Both index 37 and index 500 fail; the pool must surface the
+     lowest-index failure regardless of completion order. *)
+  let f i =
+    if i = 37 then failwith "boom-37"
+    else if i = 500 then failwith "boom-500"
+    else i
+  in
+  (match Pool.parallel_map ~njobs:4 f (List.init 1000 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg -> check_bool "lowest index wins" true (msg = "boom-37"));
+  match Pool.parallel_map ~njobs:1 f (List.init 50 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure (sequential)"
+  | exception Failure msg ->
+      check_bool "sequential propagates too" true (msg = "boom-37")
+
+let test_pool_njobs_env () =
+  with_njobs "1" (fun () ->
+      check_int "T1000_NJOBS=1 honored" 1 (Pool.default_njobs ()));
+  with_njobs "7" (fun () ->
+      check_int "T1000_NJOBS=7 honored" 7 (Pool.default_njobs ()));
+  with_njobs "" (fun () ->
+      check_int "empty means unset" (Domain.recommended_domain_count ())
+        (Pool.default_njobs ()));
+  with_njobs "zero" (fun () ->
+      check_bool "garbage rejected" true
+        (match Pool.default_njobs () with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+(* ---------- Memo ---------- *)
+
+let test_memo_compute_once () =
+  let m = Memo.create 4 in
+  let computes = Atomic.make 0 in
+  let f () =
+    Atomic.incr computes;
+    [ 1; 2; 3 ]
+  in
+  (* 64 tasks on 4 domains all demand the same key: exactly one
+     computation, and every caller shares the same physical value. *)
+  let vs =
+    Pool.parallel_map ~njobs:4
+      (fun _ -> Memo.find_or_compute m "k" f)
+      (List.init 64 Fun.id)
+  in
+  check_int "computed exactly once" 1 (Atomic.get computes);
+  let first = List.hd vs in
+  check_bool "all callers share one value" true
+    (List.for_all (fun v -> v == first) vs);
+  check_int "one binding" 1 (Memo.length m)
+
+let test_memo_failure_retries () =
+  let m = Memo.create 4 in
+  let attempts = ref 0 in
+  let flaky () =
+    incr attempts;
+    if !attempts = 1 then failwith "first try fails" else 42
+  in
+  check_bool "first call raises" true
+    (match Memo.find_or_compute m "k" flaky with
+    | _ -> false
+    | exception Failure _ -> true);
+  check_int "failure leaves no binding" 0 (Memo.length m);
+  check_int "second call retries and caches" 42
+    (Memo.find_or_compute m "k" flaky);
+  check_int "third call hits the cache" 42
+    (Memo.find_or_compute m "k" flaky);
+  check_int "two attempts total" 2 !attempts
+
+(* ---------- sequential/parallel equivalence ---------- *)
+
+let workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None -> Alcotest.failf "unknown workload %s" name
+
+let suite () = [ workload "unepic"; workload "g721_dec" ]
+
+let rows ~njobs =
+  with_njobs (string_of_int njobs) (fun () ->
+      let ctx = Experiment.create_ctx ~workloads:(suite ()) () in
+      let f2 = Experiment.figure2 ctx in
+      let f6 = Experiment.figure6 ctx in
+      let s52 = Experiment.penalty_sweep ~penalties:[ 10; 100 ] ctx in
+      (f2, f6, s52))
+
+let test_parallel_matches_sequential () =
+  let f2_seq, f6_seq, s52_seq = rows ~njobs:1 in
+  let f2_par, f6_par, s52_par = rows ~njobs:4 in
+  check_bool "figure2 identical" true (f2_seq = f2_par);
+  check_bool "figure6 identical" true (f6_seq = f6_par);
+  check_bool "penalty sweep identical" true (s52_seq = s52_par)
+
+(* ---------- selection-table cache ---------- *)
+
+let test_selection_cache () =
+  let w = workload "unepic" in
+  let ctx = Experiment.create_ctx ~workloads:[ w ] () in
+  (* A penalty sweep must run selection once: every swept point returns
+     the physically same table. *)
+  ignore (Experiment.penalty_sweep ~penalties:[ 10; 50; 100 ] ctx);
+  let sel p = Runner.setup ~n_pfus:(Some 2) ~penalty:p Runner.Selective in
+  let t10 = Experiment.selection_table ctx w (sel 10) in
+  let t50 = Experiment.selection_table ctx w (sel 50) in
+  let t100 = Experiment.selection_table ctx w (sel 100) in
+  check_bool "penalty 10/50 share the table" true (t10 == t50);
+  check_bool "penalty 50/100 share the table" true (t50 == t100);
+  (* Runs built from cached tables expose the sharing too. *)
+  let r10 = Experiment.run_setup ctx w (sel 10) in
+  let r50 = Experiment.run_setup ctx w (sel 50) in
+  check_bool "run tables physically equal" true
+    (r10.Runner.table == r50.Runner.table);
+  (* Replacement policy is simulation-only: same key, same table. *)
+  let fifo =
+    { (sel 10) with Runner.replacement = T1000_ooo.Mconfig.Fifo }
+  in
+  check_bool "replacement sweep shares the table" true
+    (Experiment.selection_table ctx w fifo == t10);
+  (* Selection-relevant parameters do miss the cache. *)
+  let t_4pfu =
+    Experiment.selection_table ctx w
+      (Runner.setup ~n_pfus:(Some 4) ~penalty:10 Runner.Selective)
+  in
+  check_bool "different n_pfus selects anew" true (not (t_4pfu == t10));
+  (* Greedy ignores n_pfus at selection time: one cached greedy table. *)
+  let g2 =
+    Experiment.selection_table ctx w
+      (Runner.setup ~n_pfus:(Some 2) Runner.Greedy)
+  in
+  let g_unl =
+    Experiment.selection_table ctx w
+      (Runner.setup ~n_pfus:None ~penalty:0 Runner.Greedy)
+  in
+  check_bool "greedy table shared across pfu counts" true (g2 == g_unl)
+
+let () =
+  Alcotest.run "t1000_parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "parallel_map order" `Quick test_pool_order;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception;
+          Alcotest.test_case "T1000_NJOBS" `Quick test_pool_njobs_env;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "compute once" `Quick test_memo_compute_once;
+          Alcotest.test_case "failure clears pending" `Quick
+            test_memo_failure_retries;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "parallel = sequential" `Slow
+            test_parallel_matches_sequential;
+          Alcotest.test_case "selection-table cache" `Slow
+            test_selection_cache;
+        ] );
+    ]
