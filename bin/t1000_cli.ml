@@ -9,6 +9,61 @@
 
 open Cmdliner
 
+(* Map the fault taxonomy onto process exit codes (2 = misconfigured
+   run, 3 = simulation fault / partial results) instead of dying with a
+   raw OCaml backtrace. *)
+let with_faults f =
+  try f () with
+  | T1000.Fault.Error fault ->
+      Format.eprintf "t1000_cli: %s@." (T1000.Fault.to_string fault);
+      exit (T1000.Fault.exit_code fault)
+  | ( T1000_ooo.Sim.Sim_stuck _ | T1000_ooo.Sim.Selfcheck_violation _
+    | T1000_machine.Interp.Fault _ ) as e ->
+      let fault = T1000.Fault.of_exn e in
+      Format.eprintf "t1000_cli: %s@." (T1000.Fault.to_string fault);
+      exit (T1000.Fault.exit_code fault)
+
+(* Surface a bad T1000_* environment variable as a one-line error (exit
+   code 2) before any command runs, instead of an exception mid-sweep. *)
+let validate_env () =
+  try
+    ignore (T1000.Pool.default_njobs ());
+    ignore (T1000_ooo.Sim.env_max_cycles ());
+    ignore (T1000.Fault.getenv_bool "T1000_SELFCHECK")
+  with
+  | Invalid_argument msg ->
+      Format.eprintf "t1000_cli: %s@." msg;
+      exit 2
+  | T1000.Fault.Error fault ->
+      Format.eprintf "t1000_cli: %s@." (T1000.Fault.to_string fault);
+      exit 2
+
+(* The suite the experiment engine runs on: all workloads, or the
+   T1000_WORKLOADS comma-separated subset (same convention as bench). *)
+let suite_workloads () =
+  match Sys.getenv_opt "T1000_WORKLOADS" with
+  | None -> T1000_workloads.Registry.all
+  | Some s ->
+      let names =
+        String.split_on_char ',' s
+        |> List.map String.trim
+        |> List.filter (fun n -> n <> "")
+      in
+      if names = [] then T1000_workloads.Registry.all
+      else
+        List.map
+          (fun n ->
+            match T1000_workloads.Registry.find n with
+            | Some w -> w
+            | None ->
+                Format.eprintf
+                  "t1000_cli: unknown workload %S in T1000_WORKLOADS \
+                   (known: %s)@."
+                  n
+                  (String.concat ", " T1000_workloads.Registry.names);
+                exit 2)
+          names
+
 let find_workload name =
   match T1000_workloads.Registry.find name with
   | Some w -> Ok w
@@ -75,8 +130,21 @@ let penalty_arg =
     & info [ "r"; "penalty" ] ~docv:"CYCLES"
         ~doc:"PFU reconfiguration penalty in cycles.")
 
-let setup_of method_ pfus penalty =
-  T1000.Runner.setup ~n_pfus:pfus ~penalty method_
+let selfcheck_arg =
+  Arg.(
+    value & flag
+    & info [ "selfcheck" ]
+        ~doc:
+          "Audit the simulator's RUU/PFU-file invariants at every commit \
+           and cross-validate architectural results against the \
+           functional interpreter (also: $(b,T1000_SELFCHECK=1)).")
+
+let setup_of ?selfcheck method_ pfus penalty =
+  T1000.Runner.setup ~n_pfus:pfus ~penalty ?selfcheck method_
+
+(* Only force self-check on when the flag is given; otherwise leave the
+   T1000_SELFCHECK environment default in charge. *)
+let selfcheck_opt flag = if flag then Some true else None
 
 (* ---- list ---- *)
 
@@ -123,6 +191,7 @@ let profile_cmd =
 
 let mine_cmd =
   let run w method_ pfus penalty save =
+    with_faults @@ fun () ->
     let r =
       T1000.Runner.run ~analysis:(T1000.Runner.analyze w) w
         (setup_of method_ pfus penalty)
@@ -159,6 +228,7 @@ let mine_cmd =
 
 let replay_cmd =
   let run w path pfus penalty =
+    with_faults @@ fun () ->
     let text = In_channel.with_open_text path In_channel.input_all in
     match T1000_select.Extinstr.of_text text with
     | Error msg ->
@@ -199,12 +269,17 @@ let replay_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run w method_ pfus penalty =
+  let run w method_ pfus penalty selfcheck =
+    with_faults @@ fun () ->
+    let selfcheck = selfcheck_opt selfcheck in
     let analysis = T1000.Runner.analyze w in
     let baseline =
-      T1000.Runner.run ~analysis w (T1000.Runner.setup T1000.Runner.Baseline)
+      T1000.Runner.run ~analysis w
+        (T1000.Runner.setup ?selfcheck T1000.Runner.Baseline)
     in
-    let r = T1000.Runner.run ~analysis w (setup_of method_ pfus penalty) in
+    let r =
+      T1000.Runner.run ~analysis w (setup_of ?selfcheck method_ pfus penalty)
+    in
     Format.printf "baseline:@.%a@.@." T1000_ooo.Stats.pp
       baseline.T1000.Runner.stats;
     Format.printf "with PFUs:@.%a@.@." T1000_ooo.Stats.pp
@@ -213,7 +288,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Simulate a workload and report the speedup.")
-    Term.(const run $ workload_arg $ method_arg $ pfus_arg $ penalty_arg)
+    Term.(
+      const run $ workload_arg $ method_arg $ pfus_arg $ penalty_arg
+      $ selfcheck_arg)
 
 (* ---- dot ---- *)
 
@@ -251,38 +328,79 @@ let dot_cmd =
 (* ---- experiment ---- *)
 
 let experiment_cmd =
-  let run jobs ids =
+  let run jobs resume selfcheck ids =
     (match jobs with
     | Some n when n < 1 ->
         Format.eprintf "t1000_cli: -j/--jobs must be >= 1, got %d@." n;
         exit 2
     | Some n -> Unix.putenv "T1000_NJOBS" (string_of_int n)
     | None -> ());
-    let ctx = T1000.Experiment.create_ctx () in
-    let dispatch = function
+    if selfcheck then Unix.putenv "T1000_SELFCHECK" "1";
+    let checkpoint_dir = T1000.Checkpoint.default_dir () in
+    if resume && checkpoint_dir = None then begin
+      Format.eprintf
+        "t1000_cli: --resume needs %s to point at the journal directory@."
+        T1000.Checkpoint.env_var;
+      exit 2
+    end;
+    let ctx = T1000.Experiment.create_ctx ~workloads:(suite_workloads ()) () in
+    (* One journal file per experiment id; a plain (non --resume) run
+       starts it afresh so stale records never leak into new results. *)
+    let journal_for id =
+      Option.map
+        (fun dir ->
+          let j = T1000.Checkpoint.create ~fresh:(not resume) ~dir ~run:id () in
+          List.iter
+            (Format.eprintf "t1000_cli: dropped corrupt checkpoint record: %s@.")
+            (T1000.Checkpoint.corrupt j);
+          j)
+        checkpoint_dir
+    in
+    let faults = ref [] in
+    let collect : type row. row T1000.Experiment.partial -> row list =
+     fun p ->
+      faults := !faults @ p.T1000.Experiment.faults;
+      p.T1000.Experiment.rows
+    in
+    let dispatch id =
+      let journal = journal_for id in
+      match id with
       | "f2" ->
           Format.printf "%a@." T1000.Report.pp_figure2
-            (T1000.Experiment.figure2 ctx)
+            (collect (T1000.Experiment.figure2_result ?journal ctx))
       | "t41" ->
           Format.printf "%a@." T1000.Report.pp_table41
-            (T1000.Experiment.table41 ctx)
+            (collect (T1000.Experiment.table41_result ?journal ctx))
       | "f6" ->
           Format.printf "%a@." T1000.Report.pp_figure6
-            (T1000.Experiment.figure6 ctx)
+            (collect (T1000.Experiment.figure6_result ?journal ctx))
       | "s52" ->
           Format.printf "%a@." T1000.Report.pp_penalty_sweep
-            (T1000.Experiment.penalty_sweep ctx)
+            (collect (T1000.Experiment.penalty_sweep_result ?journal ctx))
       | "f7" ->
-          Format.printf "%a@." T1000.Report.pp_figure7
-            (T1000.Experiment.figure7 ctx)
-      | other -> Format.eprintf "unknown experiment %S@." other
+          let r, fs = T1000.Experiment.figure7_result ?journal ctx in
+          faults := !faults @ fs;
+          Format.printf "%a@." T1000.Report.pp_figure7 r
+      | other -> (
+          match T1000.Experiment.ablation_result ?journal ctx other with
+          | Some p ->
+              Format.printf "%a@."
+                (T1000.Report.pp_sweep ~title:("Ablation " ^ other))
+                (collect p)
+          | None -> Format.eprintf "unknown experiment %S@." other)
     in
-    List.iter dispatch ids
+    with_faults (fun () -> List.iter dispatch ids);
+    match !faults with
+    | [] -> ()
+    | fs ->
+        Format.eprintf "%a@." T1000.Report.pp_faults fs;
+        exit 3
   in
   let ids =
     Arg.(
       non_empty & pos_all string []
-      & info [] ~docv:"ID" ~doc:"Experiment ids: f2 t41 f6 s52 f7.")
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids: f2 t41 f6 s52 f7, or ablations a1-a8.")
   in
   let jobs =
     Arg.(
@@ -293,14 +411,24 @@ let experiment_cmd =
             "Worker domains for the experiment engine (overrides \
              $(b,T1000_NJOBS); 1 = sequential).")
   in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the checkpoint journal in $(b,T1000_CHECKPOINT_DIR) \
+             instead of starting it afresh: already-recorded (workload x \
+             point) results are reused, only the rest are recomputed.")
+  in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures.")
-    Term.(const run $ jobs $ ids)
+    Term.(const run $ jobs $ resume $ selfcheck_arg $ ids)
 
 let () =
   let doc =
     "T1000: configurable extended instructions on a superscalar core"
   in
+  validate_env ();
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "t1000_cli" ~doc)

@@ -1,15 +1,17 @@
 #!/bin/sh
 # Tier-1 gate for the T1000 repo: build, tests, formatting (when the
-# formatter is available), and a cheap smoke of the parallel experiment
-# engine so regressions there are caught without paying for the full
-# artifact suite.
+# formatter is available), a cheap smoke of the parallel experiment
+# engine, and an end-to-end exercise of the robustness layer (fault
+# isolation + checkpoint resume).  Every simulation-running step is
+# wrapped in a hard timeout so a deadlocked simulator fails the gate
+# instead of hanging it.
 set -eu
 
 echo "== build =="
 dune build
 
 echo "== tests =="
-dune runtest
+timeout 900 dune runtest
 
 echo "== fmt =="
 if command -v ocamlformat >/dev/null 2>&1; then
@@ -19,7 +21,46 @@ else
 fi
 
 echo "== smoke: figure 2 on a reduced suite, sequential and parallel =="
-T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=1 dune exec bench/main.exe -- f2
-T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=4 dune exec bench/main.exe -- f2
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=1 timeout 900 dune exec bench/main.exe -- f2
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=4 timeout 900 dune exec bench/main.exe -- f2
+
+echo "== smoke: fault isolation + checkpoint resume =="
+# A penalty sweep where one workload faults mid-sweep must still emit
+# the other workload's rows, report the fault, and exit 3; re-running
+# with --resume against the journal must complete and reproduce the
+# clean run's stdout byte for byte.
+CKPT_DIR=$(mktemp -d)
+trap 'rm -rf "$CKPT_DIR"' EXIT
+CLEAN_OUT="$CKPT_DIR/clean.out"
+FAULT_OUT="$CKPT_DIR/faulted.out"
+RESUMED_OUT="$CKPT_DIR/resumed.out"
+
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 \
+  timeout 900 dune exec bin/t1000_cli.exe -- experiment s52 > "$CLEAN_OUT"
+
+set +e
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 \
+  T1000_CHECKPOINT_DIR="$CKPT_DIR" T1000_FAULT_INJECT=g721_dec \
+  timeout 900 dune exec bin/t1000_cli.exe -- experiment s52 > "$FAULT_OUT" 2> "$CKPT_DIR/faulted.err"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit code 3 from the faulted sweep, got $rc" >&2
+  cat "$CKPT_DIR/faulted.err" >&2
+  exit 1
+fi
+grep -q "FAULT REPORT" "$CKPT_DIR/faulted.err" || {
+  echo "faulted sweep did not print a fault report" >&2
+  exit 1
+}
+
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 \
+  T1000_CHECKPOINT_DIR="$CKPT_DIR" \
+  timeout 900 dune exec bin/t1000_cli.exe -- experiment --resume s52 > "$RESUMED_OUT"
+
+diff "$CLEAN_OUT" "$RESUMED_OUT" || {
+  echo "resumed rows differ from the uninterrupted run" >&2
+  exit 1
+}
 
 echo "== ci ok =="

@@ -139,3 +139,51 @@ val prefetch_sweep : ?penalties:int list -> ctx -> sweep_row list
 (** A8: selective 2-PFU speedup with and without [cfgld] configuration
     prefetching, at reconfiguration penalties where loop-entry reloads
     start to matter (default 100 and 500 cycles). *)
+
+(** {1 Fault-isolated, checkpointed driver variants}
+
+    Every driver above has a [*_result] twin that never lets a per-point
+    exception abort the sweep: each (workload x point) task that raises
+    is classified into the {!Fault} taxonomy, the affected workload's
+    row is withheld, and every other row is still returned.  The plain
+    drivers are strict facades that raise {!Fault.Error} on the first
+    fault.
+
+    With [?journal], completed point values are recorded in the
+    {!Checkpoint} journal as they arrive and already-recorded points
+    are served from it without recomputation, so re-running an
+    interrupted sweep against the same journal resumes it — and yields
+    rows byte-identical to an uninterrupted run.
+
+    Test hook: when the [T1000_FAULT_INJECT] environment variable names
+    a workload, every task of that workload raises
+    [Fault.Injected] instead of simulating. *)
+
+type point_fault = {
+  fault_workload : string;
+  fault_point : string;  (** the point's label within its sweep *)
+  fault : Fault.t;
+}
+
+(** Rows for every workload whose points all succeeded, plus one
+    {!point_fault} per failed (workload x point) task, in suite
+    order. *)
+type 'row partial = { rows : 'row list; faults : point_fault list }
+
+val figure2_result : ?journal:Checkpoint.t -> ctx -> f2_row partial
+val table41_result : ?journal:Checkpoint.t -> ctx -> t41_row partial
+val figure6_result : ?journal:Checkpoint.t -> ctx -> f6_row partial
+
+val penalty_sweep_result :
+  ?journal:Checkpoint.t -> ?penalties:int list -> ctx -> s52_row partial
+
+val figure7_result :
+  ?journal:Checkpoint.t -> ctx -> f7_result * point_fault list
+(** The aggregate ({!f7_result}) is computed over the workloads that
+    succeeded; faulted workloads are simply absent from [f7_costs] and
+    the histogram. *)
+
+val ablation_result :
+  ?journal:Checkpoint.t -> ctx -> string -> sweep_row partial option
+(** The fault-isolated twin of the A1-A8 ablation sweeps, dispatched on
+    the ablation id (["a1"] .. ["a8"]); [None] for an unknown id. *)

@@ -63,3 +63,57 @@ let parallel_map ?njobs f xs =
         (Array.map
            (function Some v -> v | None -> assert false)
            results)
+
+let parallel_map_result ?njobs ?on_result f xs =
+  let njobs =
+    match njobs with Some n -> max 1 n | None -> default_njobs ()
+  in
+  let wrap x =
+    match f x with
+    | v -> Ok v
+    | exception e ->
+        let backtrace = Printexc.get_backtrace () in
+        Error (Fault.of_exn ~backtrace e)
+  in
+  match xs with
+  | [] -> []
+  | xs when njobs = 1 ->
+      List.mapi
+        (fun i x ->
+          let r = wrap x in
+          (match on_result with None -> () | Some g -> g i r);
+          r)
+        xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let notify_mutex = Mutex.create () in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else begin
+            let r = wrap input.(i) in
+            results.(i) <- Some r;
+            match on_result with
+            | None -> ()
+            | Some g ->
+                Mutex.lock notify_mutex;
+                Fun.protect
+                  ~finally:(fun () -> Mutex.unlock notify_mutex)
+                  (fun () -> g i r)
+          end
+        done
+      in
+      let domains =
+        List.init (min njobs n - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      List.iter Domain.join domains;
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false)
+           results)

@@ -36,3 +36,23 @@ val parallel_map : ?njobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
     With [njobs = 1] (explicitly, or via [T1000_NJOBS=1]) no domain is
     spawned and the input is mapped sequentially. *)
+
+val parallel_map_result :
+  ?njobs:int ->
+  ?on_result:(int -> ('b, Fault.t) result -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, Fault.t) result list
+(** Fault-isolating variant of {!parallel_map}: every application of
+    [f] that raises yields [Error (Fault.of_exn e)] {e for that element
+    only} — no task is abandoned, all remaining elements still run, and
+    the result list (in input order) pairs every input with either its
+    value or its classified fault.  This is what lets a sweep return
+    partial rows plus a fault report instead of aborting the figure.
+
+    [?on_result] is invoked once per element, with the element's input
+    index, as soon as its result is known (completion order, under an
+    internal mutex — so a {!Checkpoint} journal can be appended to
+    incrementally while later tasks are still running).  An exception
+    escaping [on_result] itself (e.g. the journal's disk filling up) is
+    not isolated: it propagates and aborts the map. *)

@@ -161,3 +161,13 @@ let pp_sweep ~title ppf rows =
         rows;
       rule ppf width);
   Format.fprintf ppf "@]"
+
+let pp_faults ppf (faults : Experiment.point_fault list) =
+  Format.fprintf ppf "@[<v>FAULT REPORT: %d point(s) failed@,"
+    (List.length faults);
+  List.iter
+    (fun (f : Experiment.point_fault) ->
+      Format.fprintf ppf "  %s/%s: %a@," f.Experiment.fault_workload
+        f.Experiment.fault_point Fault.pp f.Experiment.fault)
+    faults;
+  Format.fprintf ppf "@]"

@@ -13,3 +13,8 @@ val pp_sweep :
   Experiment.sweep_row list ->
   unit
 (** Generic (benchmark x setting) speedup table for the ablations. *)
+
+val pp_faults : Format.formatter -> Experiment.point_fault list -> unit
+(** The structured fault report a partial driver result carries: a
+    header with the failed-point count, then one line per fault
+    ([workload/point: description]). *)

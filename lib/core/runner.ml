@@ -21,21 +21,46 @@ type setup = {
   ext_timing : [ `Single_cycle | `Lut_levels ];
   config_prefetch : bool;
   machine : Mconfig.t;
+  selfcheck : bool;
 }
 
-let setup ?(n_pfus = Some 2) ?(penalty = 10) method_ =
-  {
-    method_;
-    n_pfus;
-    penalty;
-    replacement = Mconfig.Lru;
-    extract = T1000_dfg.Extract.default_config;
-    gain_threshold = 0.005;
-    lut_budget = T1000_hwcost.Lut.default_budget;
-    ext_timing = `Single_cycle;
-    config_prefetch = false;
-    machine = Mconfig.default;
-  }
+let validate s =
+  (match s.n_pfus with
+  | Some n when n <= 0 ->
+      Fault.invalid_config "n_pfus must be positive (or None for unlimited), got %d" n
+  | Some _ | None -> ());
+  if s.penalty < 0 then
+    Fault.invalid_config "penalty must be non-negative, got %d" s.penalty;
+  (* The negated comparison also catches NaN. *)
+  if not (s.gain_threshold >= 0.0 && s.gain_threshold <= 1.0) then
+    Fault.invalid_config "gain_threshold must be in [0, 1], got %g"
+      s.gain_threshold;
+  if s.lut_budget <= 0 then
+    Fault.invalid_config "lut_budget must be positive, got %d" s.lut_budget
+
+let setup ?(n_pfus = Some 2) ?(penalty = 10) ?selfcheck method_ =
+  let selfcheck =
+    match selfcheck with
+    | Some b -> b
+    | None -> Fault.getenv_bool "T1000_SELFCHECK"
+  in
+  let s =
+    {
+      method_;
+      n_pfus;
+      penalty;
+      replacement = Mconfig.Lru;
+      extract = T1000_dfg.Extract.default_config;
+      gain_threshold = 0.005;
+      lut_budget = T1000_hwcost.Lut.default_budget;
+      ext_timing = `Single_cycle;
+      config_prefetch = false;
+      machine = Mconfig.default;
+      selfcheck;
+    }
+  in
+  validate s;
+  s
 
 type analysis = {
   profile : Profile.t;
@@ -77,13 +102,15 @@ let verify_outputs (w : Workload.t) table rewritten =
   let reference = functional_output w Extinstr.empty w.Workload.program in
   let got = functional_output w table rewritten in
   if not (String.equal reference got) then
-    failwith
-      (Printf.sprintf
-         "Runner.verify_outputs: %s: rewritten program diverges from the \
-          original"
-         w.Workload.name)
+    raise
+      (Fault.Error
+         (Fault.Verify_mismatch
+            (Printf.sprintf
+               "%s: rewritten program diverges from the original"
+               w.Workload.name)))
 
 let select_table s analysis =
+  validate s;
   match s.method_ with
   | Baseline -> Extinstr.empty
   | Greedy ->
@@ -107,6 +134,7 @@ let select_table s analysis =
       r.Selective.table
 
 let run ?analysis ?table (w : Workload.t) s =
+  validate s;
   let analysis = match analysis with Some a -> a | None -> analyze w in
   let table =
     match table with Some t -> t | None -> select_table s analysis
@@ -161,9 +189,41 @@ let run ?analysis ?table (w : Workload.t) s =
   in
   let stats =
     Sim.run ~mconfig:machine ~ext_latency ~ext_eval:(Extinstr.eval table)
+      ~selfcheck:s.selfcheck
       ~init:(fun mem regs -> w.Workload.init mem regs)
       program
   in
+  (* Self-check mode cross-validates the timing simulator's
+     architectural results against the functional interpreter: same
+     program, same inputs, so the committed-instruction count and the
+     output region must agree exactly. *)
+  if s.selfcheck then begin
+    let mem = Memory.create () in
+    let regs = Regfile.create () in
+    w.Workload.init mem regs;
+    let interp =
+      Interp.create ~mem ~regs ~ext_eval:(Extinstr.eval table) program
+    in
+    let steps = Interp.run interp in
+    if steps <> stats.Stats.committed then
+      raise
+        (Fault.Error
+           (Fault.Selfcheck_failed
+              (Printf.sprintf
+                 "%s: simulator committed %d instructions but the \
+                  functional interpreter retired %d"
+                 w.Workload.name stats.Stats.committed steps)));
+    let interp_out = Workload.output w mem in
+    let ref_out = functional_output w Extinstr.empty w.Workload.program in
+    if not (String.equal interp_out ref_out) then
+      raise
+        (Fault.Error
+           (Fault.Selfcheck_failed
+              (Printf.sprintf
+                 "%s: architectural output diverges from the original \
+                  program's under self-check"
+                 w.Workload.name)))
+  end;
   { workload = w; used = s; table; program; stats }
 
 let speedup ~baseline r = Stats.speedup ~baseline:baseline.stats r.stats

@@ -37,11 +37,29 @@ type setup = {
           future-work extension; default false) *)
   machine : Mconfig.t;  (** base machine; PFU fields are overridden from
                             the fields above *)
+  selfcheck : bool;
+      (** opt-in self-check mode: per-commit RUU/PFU-file invariant
+          audits in the simulator, plus a post-run cross-validation of
+          the architectural results against the functional interpreter *)
 }
 
-val setup : ?n_pfus:int option -> ?penalty:int -> method_ -> setup
+val setup : ?n_pfus:int option -> ?penalty:int -> ?selfcheck:bool ->
+  method_ -> setup
 (** Defaults: 2 PFUs, 10-cycle penalty, LRU, paper extraction and
-    selection parameters, the default machine. *)
+    selection parameters, the default machine.  [?selfcheck] defaults
+    to the [T1000_SELFCHECK] environment variable (strict boolean,
+    {!Fault.getenv_bool}).
+    @raise Fault.Error
+      with [Invalid_config] if any field is out of range
+      ({!validate}). *)
+
+val validate : setup -> unit
+(** Reject nonsensical setups before any simulation runs: [n_pfus]
+    [Some n] with [n <= 0], negative [penalty], [gain_threshold]
+    outside [[0, 1]] (NaN included), non-positive [lut_budget].
+    Called by {!setup}, {!select_table} and {!run}, so a hand-built
+    record is still caught.
+    @raise Fault.Error with [Invalid_config] naming the bad field. *)
 
 (** Cached per-workload analysis (one profiling run plus the static
     analyses), reusable across setups. *)
@@ -74,14 +92,19 @@ val run : ?analysis:analysis -> ?table:T1000_select.Extinstr.t ->
   Workload.t -> setup -> run
 (** Select, rewrite, and simulate.  The functional outputs of the
     rewritten program are verified against the original's before timing
-    (a safety net for the rewriter); a mismatch raises [Failure].
-    [?table] supplies a precomputed selection (e.g. from the
-    {!Experiment} cache), skipping the selection step; it must be the
-    table {!select_table} would have produced for [s]. *)
+    (a safety net for the rewriter); a mismatch raises {!Fault.Error}
+    with [Verify_mismatch].  [?table] supplies a precomputed selection
+    (e.g. from the {!Experiment} cache), skipping the selection step;
+    it must be the table {!select_table} would have produced for [s].
+    With [s.selfcheck] set, the simulator audits its RUU/PFU-file
+    invariants at every commit and the architectural results are
+    cross-validated against the functional interpreter afterwards;
+    violations raise {!Fault.Error} with [Selfcheck_failed] (or
+    {!T1000_ooo.Sim.Selfcheck_violation} from inside the pipeline). *)
 
 val speedup : baseline:run -> run -> float
 
 val verify_outputs : Workload.t -> Extinstr.t -> Program.t -> unit
 (** Run original and rewritten programs functionally and compare output
     regions byte for byte.
-    @raise Failure on a mismatch. *)
+    @raise Fault.Error with [Verify_mismatch] on a mismatch. *)

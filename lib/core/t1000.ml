@@ -8,10 +8,16 @@
     - {!Pool} — the [Domain]-based worker pool the experiment engine
       fans sweeps out on ([T1000_NJOBS] workers);
     - {!Memo} — the compute-once memo table backing the analysis,
-      baseline and selection caches. *)
+      baseline and selection caches;
+    - {!Fault} — the typed fault taxonomy the fault-isolated drivers
+      classify per-point failures into;
+    - {!Checkpoint} — the checkpoint/resume journal behind the
+      [*_result] drivers' [?journal] argument. *)
 
 module Runner = Runner
 module Experiment = Experiment
 module Report = Report
 module Pool = Pool
 module Memo = Memo
+module Fault = Fault
+module Checkpoint = Checkpoint

@@ -23,6 +23,7 @@ type t = {
   branch_pred : branch_predictor;
   cache : T1000_cache.Hierarchy.config;
   max_cycles : int;
+  progress_window : int;
 }
 
 let default =
@@ -42,6 +43,7 @@ let default =
     branch_pred = Perfect;
     cache = T1000_cache.Hierarchy.default_config;
     max_cycles = 2_000_000_000;
+    progress_window = 1_000_000;
   }
 
 let with_pfus ?(replacement = Lru) ?(penalty = 10) n t =

@@ -36,7 +36,17 @@ type t = {
   pfu_replacement : pfu_replacement;
   branch_pred : branch_predictor;  (** paper default: [Perfect] *)
   cache : T1000_cache.Hierarchy.config;
-  max_cycles : int;  (** simulation safety limit *)
+  max_cycles : int;
+      (** simulation cycle budget; {!Sim.run} raises {!Sim.Sim_stuck}
+          past it (overridable via the [T1000_MAX_CYCLES] environment
+          variable) *)
+  progress_window : int;
+      (** forward-progress watchdog: {!Sim.run} declares deadlock when
+          the RUU is non-empty and no instruction has committed for this
+          many cycles.  The default (1M cycles) is orders of magnitude
+          above any legitimate stall (the longest modelled latency chain
+          is a few thousand cycles even at a 500-cycle reconfiguration
+          penalty), so it only trips on genuine scheduling deadlocks *)
 }
 
 val default : t

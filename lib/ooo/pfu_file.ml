@@ -168,6 +168,39 @@ let release t ~unit_id =
     if u.pins > 0 then u.pins <- u.pins - 1
   end
 
+let selfcheck t =
+  if t.hits < 0 || t.misses < 0 || t.stalls < 0 || t.prefetches < 0 then
+    Some
+      (Printf.sprintf
+         "negative counter (hits %d, misses %d, stalls %d, prefetches %d)"
+         t.hits t.misses t.stalls t.prefetches)
+  else if t.is_unlimited then None
+  else begin
+    let n = Array.length t.units in
+    let rec go i =
+      if i >= n then None
+      else begin
+        let u = t.units.(i) in
+        if u.pins < 0 then
+          Some (Printf.sprintf "unit %d has negative pin count %d" i u.pins)
+        else begin
+          let rec dup j =
+            if j >= n then -1
+            else if u.conf >= 0 && t.units.(j).conf = u.conf then j
+            else dup (j + 1)
+          in
+          match dup (i + 1) with
+          | -1 -> go (i + 1)
+          | j ->
+              Some
+                (Printf.sprintf
+                   "configuration %d loaded in units %d and %d" u.conf i j)
+        end
+      end
+    in
+    go 0
+  end
+
 let hits t = t.hits
 let misses t = t.misses
 let prefetches t = t.prefetches

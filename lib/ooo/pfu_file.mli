@@ -53,3 +53,10 @@ val reconfigs : t -> int
 
 val stalls : t -> int
 val pp_stats : Format.formatter -> t -> unit
+
+val selfcheck : t -> string option
+(** Structural-invariant audit used by the simulator's opt-in
+    self-check mode: non-negative event counters, non-negative pin
+    counts, and no configuration tag loaded into two units at once.
+    [None] when all invariants hold, [Some description] of the first
+    violation otherwise. *)

@@ -79,3 +79,40 @@ let pop t =
   let e = t.ring.(t.head mod t.size) in
   t.head <- t.head + 1;
   e
+
+let selfcheck t =
+  if t.head > t.tail then
+    Some (Printf.sprintf "head seq %d is ahead of tail seq %d" t.head t.tail)
+  else if occupancy t > t.size then
+    Some
+      (Printf.sprintf "occupancy %d exceeds window size %d" (occupancy t)
+         t.size)
+  else begin
+    let rec go seq =
+      if seq >= t.tail then None
+      else begin
+        let e = t.ring.(seq mod t.size) in
+        if e.seq <> seq then
+          Some
+            (Printf.sprintf "ring slot %d holds seq %d, expected %d"
+               (seq mod t.size) e.seq seq)
+        else if e.dep1 >= seq || e.dep2 >= seq || e.dep3 >= seq then
+          Some
+            (Printf.sprintf
+               "entry seq %d depends on a producer no older than itself \
+                (deps %d/%d/%d)"
+               seq e.dep1 e.dep2 e.dep3)
+        else if e.issued && e.complete_at = max_int then
+          Some
+            (Printf.sprintf "entry seq %d issued without a completion time"
+               seq)
+        else if (not e.issued) && e.complete_at <> max_int then
+          Some
+            (Printf.sprintf "entry seq %d has a completion time but never \
+                             issued"
+               seq)
+        else go (seq + 1)
+      end
+    in
+    go t.head
+  end

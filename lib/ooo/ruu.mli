@@ -58,3 +58,11 @@ val in_flight : t -> int -> bool
 val pop : t -> entry
 (** Commit the head entry.
     @raise Invalid_argument when empty. *)
+
+val selfcheck : t -> string option
+(** Structural-invariant audit used by the simulator's opt-in
+    self-check mode: head/tail ordering, occupancy within the window,
+    every in-flight entry stored at its ring slot with its own sequence
+    number, dependences strictly older than their consumer, and
+    [issued]/[complete_at] consistency.  [None] when all invariants
+    hold, [Some description] of the first violation otherwise. *)

@@ -2,8 +2,55 @@ open T1000_isa
 open T1000_machine
 open T1000_cache
 
+type stuck = {
+  reason : [ `Cycle_budget | `No_commit ];
+  cycle : int;
+  limit : int;
+  committed : int;
+  head_slot : int;
+  head_instr : string;
+  ruu_occupancy : int;
+  ruu_size : int;
+  ifq_length : int;
+  pfu : string;
+}
+
+exception Sim_stuck of stuck
+exception Selfcheck_violation of string
+
+let pp_stuck ppf s =
+  Format.fprintf ppf
+    "@[<v>%s at cycle %d (limit %d): %d instructions committed;@ RUU %d/%d \
+     occupied, head %s;@ IFQ %d entries; %s@]"
+    (match s.reason with
+    | `Cycle_budget -> "cycle budget exhausted"
+    | `No_commit -> "no forward progress (deadlock)")
+    s.cycle s.limit s.committed s.ruu_occupancy s.ruu_size
+    (if s.head_slot < 0 then "<empty>"
+     else Printf.sprintf "slot %d: %s" s.head_slot s.head_instr)
+    s.ifq_length s.pfu
+
+let () =
+  Printexc.register_printer (function
+    | Sim_stuck s -> Some (Format.asprintf "Sim_stuck: %a" pp_stuck s)
+    | Selfcheck_violation m -> Some ("Sim self-check violation: " ^ m)
+    | _ -> None)
+
+let env_max_cycles () =
+  match Sys.getenv_opt "T1000_MAX_CYCLES" with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "T1000_MAX_CYCLES must be a positive integer, \
+                             got %S"
+               s))
+
 let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
-    ~init program =
+    ?(selfcheck = false) ~init program =
   let mem = Memory.create () in
   let regs = Regfile.create () in
   init mem regs;
@@ -103,6 +150,48 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
         if resolved then blocking := `None
   in
 
+  (* Watchdog state: cycle of the most recent commit (or of the most
+     recent cycle with an empty window, during which commits are
+     legitimately impossible). *)
+  let last_commit = ref 0 in
+  let stuck reason limit =
+    let head_slot, head_instr =
+      if Ruu.is_empty ruu then (-1, "<ruu empty>")
+      else begin
+        let e = Ruu.get ruu (Ruu.head_seq ruu) in
+        (e.Ruu.slot, Format.asprintf "%a" Instr.pp e.Ruu.instr)
+      end
+    in
+    raise
+      (Sim_stuck
+         {
+           reason;
+           cycle = !now;
+           limit;
+           committed = !committed;
+           head_slot;
+           head_instr;
+           ruu_occupancy = Ruu.occupancy ruu;
+           ruu_size = Ruu.size ruu;
+           ifq_length = Queue.length ifq;
+           pfu = Format.asprintf "%a" Pfu_file.pp_stats pfus;
+         })
+  in
+  let run_selfcheck () =
+    (match Ruu.selfcheck ruu with
+    | None -> ()
+    | Some m ->
+        raise
+          (Selfcheck_violation
+             (Printf.sprintf "ruu at cycle %d: %s" !now m)));
+    match Pfu_file.selfcheck pfus with
+    | None -> ()
+    | Some m ->
+        raise
+          (Selfcheck_violation
+             (Printf.sprintf "pfu file at cycle %d: %s" !now m))
+  in
+
   let commit_stage () =
     let n = ref 0 in
     let continue = ref true in
@@ -116,7 +205,11 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
         incr n
       end
       else continue := false
-    done
+    done;
+    if !n > 0 then begin
+      last_commit := !now;
+      if selfcheck then run_selfcheck ()
+    end
   in
 
   (* Per-cycle functional-unit availability.  [pfu_busy_stamp] is a
@@ -379,9 +472,16 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
   in
   (* Prime the lookahead so [finished] is meaningful for empty traces. *)
   ignore (peek ());
+  let max_cycles =
+    match env_max_cycles () with
+    | Some n -> n
+    | None -> mconfig.Mconfig.max_cycles
+  in
   while not (finished ()) do
-    if !now > mconfig.Mconfig.max_cycles then
-      failwith "Sim.run: max_cycles exceeded";
+    if !now > max_cycles then stuck `Cycle_budget max_cycles;
+    if Ruu.is_empty ruu then last_commit := !now
+    else if !now - !last_commit > mconfig.Mconfig.progress_window then
+      stuck `No_commit mconfig.Mconfig.progress_window;
     occupancy_sum := !occupancy_sum + Ruu.occupancy ruu;
     redirect_stage ();
     commit_stage ();

@@ -30,13 +30,66 @@ open T1000_isa
 open T1000_asm
 open T1000_machine
 
+(** Diagnostic snapshot carried by {!Sim_stuck}: where the simulation
+    was when the watchdog fired — program position (RUU head slot and
+    instruction), window occupancy, fetch-queue depth and PFU-file
+    statistics — so a stuck sweep point can be triaged from the fault
+    report alone. *)
+type stuck = {
+  reason : [ `Cycle_budget | `No_commit ];
+      (** [`Cycle_budget]: total cycles exceeded the budget;
+          [`No_commit]: the RUU was non-empty but nothing committed for
+          {!Mconfig.t.progress_window} cycles (scheduling deadlock) *)
+  cycle : int;  (** cycle at which the watchdog fired *)
+  limit : int;  (** the budget or window that was exceeded *)
+  committed : int;  (** instructions committed so far *)
+  head_slot : int;  (** static slot of the RUU head, -1 if empty *)
+  head_instr : string;  (** rendered RUU-head instruction *)
+  ruu_occupancy : int;
+  ruu_size : int;
+  ifq_length : int;
+  pfu : string;  (** rendered PFU-file statistics *)
+}
+
+exception Sim_stuck of stuck
+(** The watchdog tripped: runaway or deadlocked simulation. *)
+
+exception Selfcheck_violation of string
+(** An RUU or PFU-file structural invariant failed under
+    [~selfcheck:true] — always a simulator bug, never a property of the
+    simulated program. *)
+
+val pp_stuck : Format.formatter -> stuck -> unit
+
+val env_max_cycles : unit -> int option
+(** The [T1000_MAX_CYCLES] environment override of
+    {!Mconfig.t.max_cycles}, if set and non-empty.
+    @raise Invalid_argument
+      if the variable holds anything other than a positive integer. *)
+
 val run :
   ?mconfig:Mconfig.t ->
   ?ext_latency:(int -> int) ->
   ?ext_eval:(int -> Word.t -> Word.t -> Word.t) ->
+  ?selfcheck:bool ->
   init:(Memory.t -> Regfile.t -> unit) ->
   Program.t ->
   Stats.t
 (** Simulate the program to completion.
+
+    Two watchdogs bound every run: a total cycle budget
+    ([mconfig.max_cycles], overridable with the [T1000_MAX_CYCLES]
+    environment variable) and a forward-progress check (no commit for
+    [mconfig.progress_window] cycles while instructions are in flight).
+    Either tripping raises {!Sim_stuck} with a diagnostic snapshot
+    instead of looping forever.
+
+    [~selfcheck:true] additionally audits the RUU and PFU-file
+    structural invariants after every committing cycle
+    ({!Ruu.selfcheck}, {!Pfu_file.selfcheck}), raising
+    {!Selfcheck_violation} on the first violation.  Statistics are
+    unaffected.
     @raise T1000_machine.Interp.Fault on architectural faults.
-    @raise Failure if [mconfig.max_cycles] is exceeded. *)
+    @raise Sim_stuck when a watchdog fires.
+    @raise Selfcheck_violation under [~selfcheck:true] on an invariant
+      violation. *)

@@ -1,0 +1,423 @@
+(* Tests for the robustness layer: the fault taxonomy, the
+   fault-isolating pool variant, the checkpoint journal (including
+   corruption recovery), Runner setup validation, the simulator
+   watchdog, self-check mode, and the end-to-end properties the layer
+   exists for — a fault in one workload leaves every other row intact,
+   and a killed sweep resumed against its journal reproduces the
+   uninterrupted rows exactly. *)
+
+open T1000_isa
+open T1000_asm
+open T1000_ooo
+open T1000
+open T1000_workloads
+module R = Reg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Unix.putenv cannot unset; every T1000_* variable treats the empty
+   string as unset, so restoring "" is equivalent. *)
+let with_env var value f =
+  let saved = Sys.getenv_opt var in
+  Unix.putenv var value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv var (match saved with Some s -> s | None -> ""))
+    f
+
+let build f =
+  let b = Builder.create () in
+  f b;
+  Builder.build b
+
+let loop_program () =
+  build (fun b ->
+      Builder.li b R.t0 1000;
+      Builder.label b "top";
+      Builder.addiu b R.t0 R.t0 (-1);
+      Builder.bgtz b R.t0 "top";
+      Builder.halt b)
+
+let workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None -> Alcotest.failf "unknown workload %s" name
+
+(* ---------- Fault ---------- *)
+
+let test_fault_classify () =
+  check_bool "Error unwraps" true
+    (Fault.of_exn (Fault.Error (Fault.Invalid_config "bad"))
+    = Fault.Invalid_config "bad");
+  check_bool "interpreter fault mapped" true
+    (match Fault.of_exn (T1000_machine.Interp.Fault "whoops") with
+    | Fault.Interp_fault "whoops" -> true
+    | _ -> false);
+  check_bool "selfcheck violation mapped" true
+    (match Fault.of_exn (Sim.Selfcheck_violation "ruu") with
+    | Fault.Selfcheck_failed "ruu" -> true
+    | _ -> false);
+  check_bool "anything else crashes with backtrace" true
+    (match Fault.of_exn ~backtrace:"bt" (Failure "boom") with
+    | Fault.Crashed { exn; backtrace = "bt" } ->
+        (* the exact rendering is Printexc's business *)
+        String.length exn > 0
+    | _ -> false);
+  check_int "invalid config exits 2" 2 (Fault.exit_code (Fault.Invalid_config "x"));
+  check_int "other faults exit 3" 3 (Fault.exit_code (Fault.Injected "x"));
+  check_bool "renderable" true
+    (String.length (Fault.to_string (Fault.Invalid_config "x")) > 0)
+
+let test_fault_getenv_bool () =
+  let get v = with_env "T1000_SELFCHECK" v (fun () -> Fault.getenv_bool "T1000_SELFCHECK") in
+  check_bool "empty is false" false (get "");
+  check_bool "0 is false" false (get "0");
+  check_bool "no is false" false (get "no");
+  check_bool "1 is true" true (get "1");
+  check_bool "true is true" true (get "true");
+  check_bool "garbage rejected" true
+    (match get "maybe" with
+    | _ -> false
+    | exception Fault.Error (Fault.Invalid_config _) -> true)
+
+(* ---------- Pool.parallel_map_result ---------- *)
+
+let test_pool_isolation () =
+  let f i =
+    if i = 37 || i = 500 then failwith (Printf.sprintf "boom-%d" i) else i * i
+  in
+  let notified = Atomic.make 0 in
+  let rs =
+    Pool.parallel_map_result ~njobs:4
+      ~on_result:(fun _ _ -> Atomic.incr notified)
+      f (List.init 1000 Fun.id)
+  in
+  check_int "every task has a result" 1000 (List.length rs);
+  check_int "every task notified once" 1000 (Atomic.get notified);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok v ->
+          check_bool "only the failing indices fail" true
+            (i <> 37 && i <> 500);
+          check_int "value in input order" (i * i) v
+      | Error (Fault.Crashed { exn; _ }) ->
+          check_bool "failures land at their own index" true
+            (i = 37 || i = 500);
+          check_bool "original message kept" true
+            (exn = Printexc.to_string (Failure (Printf.sprintf "boom-%d" i)))
+      | Error _ -> Alcotest.fail "unexpected fault class")
+    rs;
+  (* sequential path behaves identically (modulo the recorded
+     backtrace, which legitimately differs between a domain and the
+     calling thread) *)
+  let shape =
+    List.map (function
+      | Ok v -> Ok v
+      | Error f -> Error (match f with Fault.Crashed { exn; _ } -> exn | _ -> ""))
+  in
+  check_bool "njobs=1 matches" true
+    (shape (Pool.parallel_map_result ~njobs:1 f (List.init 1000 Fun.id))
+    = shape rs);
+  check_bool "empty input" true (Pool.parallel_map_result ~njobs:4 f [] = [])
+
+(* ---------- Checkpoint ---------- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "t1000_ckpt_%d_%d" (Unix.getpid ()) !n)
+    in
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote d)));
+    d
+
+let test_checkpoint_roundtrip () =
+  let dir = fresh_dir () in
+  let j = Checkpoint.create ~fresh:true ~dir ~run:"s52" () in
+  check_int "starts empty" 0 (Checkpoint.completed j);
+  Checkpoint.record j ~key:"a" 3.5;
+  Checkpoint.record j ~key:"b" (10, 1.25, 2.5);
+  Checkpoint.record j ~key:"a" 4.5;
+  check_int "overwrite keeps one binding" 2 (Checkpoint.completed j);
+  check_bool "no temp file left behind" false
+    (Sys.file_exists (Checkpoint.path j ^ ".tmp"));
+  (* a second open (a resumed process) sees exactly what was recorded *)
+  let j2 = Checkpoint.create ~dir ~run:"s52" () in
+  check_bool "healthy journal" true (Checkpoint.corrupt j2 = []);
+  check_bool "float round-trips exactly" true
+    (Checkpoint.find j2 ~key:"a" = Some 4.5);
+  check_bool "tuple round-trips" true
+    (Checkpoint.find j2 ~key:"b" = Some (10, 1.25, 2.5));
+  check_bool "mem agrees" true
+    (Checkpoint.mem j2 ~key:"a" && not (Checkpoint.mem j2 ~key:"zzz"));
+  (* fresh:true discards it *)
+  let j3 = Checkpoint.create ~fresh:true ~dir ~run:"s52" () in
+  check_int "fresh starts over" 0 (Checkpoint.completed j3)
+
+let corrupt_first_line path =
+  let lines =
+    In_channel.with_open_text path In_channel.input_lines
+  in
+  match lines with
+  | [] -> Alcotest.fail "journal unexpectedly empty"
+  | first :: rest ->
+      let b = Bytes.of_string first in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (if Bytes.get b last = '0' then '1' else '0');
+      Out_channel.with_open_text path (fun oc ->
+          List.iter
+            (fun l -> Out_channel.output_string oc (l ^ "\n"))
+            (Bytes.to_string b :: rest))
+
+let test_checkpoint_corruption () =
+  let dir = fresh_dir () in
+  let j = Checkpoint.create ~fresh:true ~dir ~run:"f2" () in
+  Checkpoint.record j ~key:"alpha" 1.0;
+  Checkpoint.record j ~key:"beta" 2.0;
+  corrupt_first_line (Checkpoint.path j);
+  let j2 = Checkpoint.create ~dir ~run:"f2" () in
+  check_int "one record dropped" 1 (List.length (Checkpoint.corrupt j2));
+  check_int "the other survives" 1 (Checkpoint.completed j2);
+  (* the survivor is intact, the damaged one reads as absent *)
+  check_bool "exactly one of the two is gone" true
+    (match (Checkpoint.find j2 ~key:"alpha", Checkpoint.find j2 ~key:"beta") with
+    | Some 1.0, None | None, Some 2.0 -> true
+    | _ -> false)
+
+(* ---------- Runner validation ---------- *)
+
+let test_runner_validation () =
+  let rejects f =
+    match f () with
+    | _ -> false
+    | exception Fault.Error (Fault.Invalid_config _) -> true
+  in
+  check_bool "n_pfus = Some 0" true
+    (rejects (fun () -> Runner.setup ~n_pfus:(Some 0) Runner.Greedy));
+  check_bool "n_pfus negative" true
+    (rejects (fun () -> Runner.setup ~n_pfus:(Some (-3)) Runner.Selective));
+  check_bool "negative penalty" true
+    (rejects (fun () -> Runner.setup ~penalty:(-1) Runner.Greedy));
+  let ok = Runner.setup Runner.Selective in
+  check_bool "gain_threshold above 1" true
+    (rejects (fun () ->
+         Runner.validate { ok with Runner.gain_threshold = 1.5 }));
+  check_bool "gain_threshold NaN" true
+    (rejects (fun () ->
+         Runner.validate { ok with Runner.gain_threshold = Float.nan }));
+  check_bool "lut_budget zero" true
+    (rejects (fun () -> Runner.validate { ok with Runner.lut_budget = 0 }));
+  check_bool "defaults are valid" true
+    (match Runner.validate ok with () -> true)
+
+(* ---------- watchdog ---------- *)
+
+let test_watchdog_cycle_budget () =
+  let m = { Mconfig.default with Mconfig.max_cycles = 10 } in
+  check_bool "budget exceeded raises Sim_stuck" true
+    (match Sim.run ~mconfig:m ~init:(fun _ _ -> ()) (loop_program ()) with
+    | _ -> false
+    | exception Sim.Sim_stuck s ->
+        s.Sim.reason = `Cycle_budget
+        && s.Sim.limit = 10
+        && s.Sim.cycle > 10
+        && String.length (Format.asprintf "%a" Sim.pp_stuck s) > 0)
+
+let test_watchdog_env_override () =
+  with_env "T1000_MAX_CYCLES" "5" (fun () ->
+      check_bool "env override wins over mconfig" true
+        (match
+           Sim.run ~init:(fun _ _ -> ()) (loop_program ())
+         with
+        | _ -> false
+        | exception Sim.Sim_stuck s ->
+            s.Sim.reason = `Cycle_budget && s.Sim.limit = 5));
+  with_env "T1000_MAX_CYCLES" "abc" (fun () ->
+      check_bool "garbage env rejected" true
+        (match Sim.env_max_cycles () with
+        | _ -> false
+        | exception Invalid_argument _ -> true));
+  with_env "T1000_MAX_CYCLES" "" (fun () ->
+      check_bool "empty means unset" true (Sim.env_max_cycles () = None))
+
+let test_watchdog_no_commit () =
+  (* One extended instruction that takes 200 cycles: commits stop for
+     far longer than the 10-cycle progress window, so the
+     forward-progress check must fire (rather than the cycle budget). *)
+  let p =
+    build (fun b ->
+        Builder.li b R.t0 1;
+        Builder.ext b 0 R.t1 R.t0 R.zero;
+        Builder.halt b)
+  in
+  let m =
+    {
+      (Mconfig.with_pfus ~penalty:0 (Some 2) Mconfig.default) with
+      Mconfig.progress_window = 10;
+    }
+  in
+  check_bool "stalled pipeline detected" true
+    (match
+       Sim.run ~mconfig:m
+         ~ext_latency:(fun _ -> 200)
+         ~ext_eval:(fun _ v1 _ -> v1)
+         ~init:(fun _ _ -> ())
+         p
+     with
+    | _ -> false
+    | exception Sim.Sim_stuck s ->
+        s.Sim.reason = `No_commit && s.Sim.limit = 10 && s.Sim.committed >= 1)
+
+(* ---------- self-check ---------- *)
+
+let test_selfcheck_clean_run () =
+  (* Self-check must be pure observation: same stats with and without,
+     on a run that exercises PFUs. *)
+  let eval _ v1 _ = Word.add v1 1 in
+  let mk () =
+    build (fun b ->
+        Builder.li b R.t0 50;
+        Builder.label b "top";
+        Builder.ext b 0 R.t1 R.t0 R.zero;
+        Builder.addiu b R.t0 R.t0 (-1);
+        Builder.bgtz b R.t0 "top";
+        Builder.halt b)
+  in
+  let mconfig = Mconfig.with_pfus ~penalty:10 (Some 2) Mconfig.default in
+  let plain =
+    Sim.run ~mconfig ~ext_eval:eval ~init:(fun _ _ -> ()) (mk ())
+  in
+  let audited =
+    Sim.run ~mconfig ~ext_eval:eval ~selfcheck:true
+      ~init:(fun _ _ -> ())
+      (mk ())
+  in
+  check_bool "selfcheck does not perturb the simulation" true (plain = audited)
+
+let test_selfcheck_runner () =
+  let w = workload "unepic" in
+  let plain = Runner.run w (Runner.setup ~selfcheck:false Runner.Selective) in
+  let audited = Runner.run w (Runner.setup ~selfcheck:true Runner.Selective) in
+  check_bool "runner stats unchanged under selfcheck" true
+    (plain.Runner.stats = audited.Runner.stats)
+
+(* ---------- fault injection mid-sweep ---------- *)
+
+let suite () = [ workload "unepic"; workload "g721_dec" ]
+
+let test_injected_fault_isolated () =
+  with_env "T1000_FAULT_INJECT" "g721_dec" (fun () ->
+      let ctx = Experiment.create_ctx ~workloads:(suite ()) () in
+      let p = Experiment.penalty_sweep_result ~penalties:[ 10 ] ctx in
+      check_int "unaffected workload's row arrives" 1
+        (List.length p.Experiment.rows);
+      check_bool "and it is the right one" true
+        ((List.hd p.Experiment.rows).Experiment.s52_name = "unepic");
+      check_int "one fault per failed point" 1
+        (List.length p.Experiment.faults);
+      let f = List.hd p.Experiment.faults in
+      check_bool "structured fault record" true
+        (f.Experiment.fault_workload = "g721_dec"
+        && f.Experiment.fault_point = "10"
+        &&
+        match f.Experiment.fault with
+        | Fault.Injected _ -> true
+        | _ -> false);
+      (* the strict facade turns the same fault into an exception *)
+      check_bool "strict driver raises" true
+        (match Experiment.penalty_sweep ~penalties:[ 10 ] ctx with
+        | _ -> false
+        | exception Fault.Error (Fault.Injected _) -> true))
+
+(* ---------- kill-and-resume ---------- *)
+
+let test_kill_and_resume () =
+  let penalties = [ 10; 50 ] in
+  let dir = fresh_dir () in
+  (* reference: one uninterrupted, journal-free run *)
+  let clean =
+    let ctx = Experiment.create_ctx ~workloads:(suite ()) () in
+    Experiment.penalty_sweep_result ~penalties ctx
+  in
+  check_bool "reference run is clean" true (clean.Experiment.faults = []);
+  (* "killed" run: g721_dec faults mid-sweep, unepic's points land in
+     the journal *)
+  with_env "T1000_FAULT_INJECT" "g721_dec" (fun () ->
+      let ctx = Experiment.create_ctx ~workloads:(suite ()) () in
+      let j = Checkpoint.create ~fresh:true ~dir ~run:"s52" () in
+      let p = Experiment.penalty_sweep_result ~journal:j ~penalties ctx in
+      check_int "partial rows" 1 (List.length p.Experiment.rows);
+      check_int "faults reported" 2 (List.length p.Experiment.faults);
+      check_int "completed points journaled" 2 (Checkpoint.completed j));
+  (* resume: fresh process state (new ctx), same journal *)
+  let resumed =
+    let ctx = Experiment.create_ctx ~workloads:(suite ()) () in
+    let j = Checkpoint.create ~dir ~run:"s52" () in
+    Experiment.penalty_sweep_result ~journal:j ~penalties ctx
+  in
+  check_bool "resume completes" true (resumed.Experiment.faults = []);
+  check_bool "resumed rows identical to uninterrupted run" true
+    (resumed.Experiment.rows = clean.Experiment.rows);
+  let j = Checkpoint.create ~dir ~run:"s52" () in
+  check_int "journal now holds every point" 4 (Checkpoint.completed j);
+  (* damage one record on disk: the next resume drops it, recomputes
+     that point, and still reproduces the reference rows *)
+  corrupt_first_line (Checkpoint.path j);
+  let recovered =
+    let ctx = Experiment.create_ctx ~workloads:(suite ()) () in
+    let j = Checkpoint.create ~dir ~run:"s52" () in
+    check_int "corrupt record detected" 1 (List.length (Checkpoint.corrupt j));
+    Experiment.penalty_sweep_result ~journal:j ~penalties ctx
+  in
+  check_bool "recovered rows identical too" true
+    (recovered.Experiment.faults = []
+    && recovered.Experiment.rows = clean.Experiment.rows)
+
+let () =
+  Alcotest.run "t1000_fault"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "classification" `Quick test_fault_classify;
+          Alcotest.test_case "getenv_bool" `Quick test_fault_getenv_bool;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "fault isolation" `Quick test_pool_isolation;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "corruption recovery" `Quick
+            test_checkpoint_corruption;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "setup validation" `Quick test_runner_validation;
+        ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "cycle budget" `Quick test_watchdog_cycle_budget;
+          Alcotest.test_case "T1000_MAX_CYCLES" `Quick
+            test_watchdog_env_override;
+          Alcotest.test_case "forward progress" `Quick test_watchdog_no_commit;
+        ] );
+      ( "selfcheck",
+        [
+          Alcotest.test_case "sim observation only" `Quick
+            test_selfcheck_clean_run;
+          Alcotest.test_case "runner cross-validation" `Slow
+            test_selfcheck_runner;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "injected fault isolated" `Slow
+            test_injected_fault_isolated;
+          Alcotest.test_case "kill and resume" `Slow test_kill_and_resume;
+        ] );
+    ]

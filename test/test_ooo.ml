@@ -501,7 +501,10 @@ let test_sim_max_cycles () =
   in
   let m = { Mconfig.default with Mconfig.max_cycles = 10 } in
   check_bool "max_cycles enforced" true
-    (match run ~mconfig:m p with exception Failure _ -> true | _ -> false)
+    (match run ~mconfig:m p with
+    | exception Sim.Sim_stuck s ->
+        s.Sim.reason = `Cycle_budget && s.Sim.limit = 10
+    | _ -> false)
 
 let test_stats_speedup () =
   let base = run (build (fun b -> Builder.li b R.t0 1; Builder.halt b)) in
