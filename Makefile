@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke speed ci clean
+.PHONY: all build test fmt smoke fuzz speed ci clean
 
 all: build
 
@@ -22,6 +22,13 @@ fmt:
 smoke:
 	T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=1 dune exec bench/main.exe -- f2
 	T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=4 dune exec bench/main.exe -- f2
+
+# Differential fuzzing of the whole extraction/selection/simulation
+# pipeline against the reference interpreter, plus checkpoint
+# corruption drills.  Deterministic: a failure prints the seed and a
+# shrunk reproducer under _fuzz/.
+fuzz:
+	dune exec bin/t1000_cli.exe -- fuzz --seed 42 --cases 200
 
 # Full engine timing: sequential vs parallel over every paper artifact
 # and ablation; writes BENCH_engine.json.

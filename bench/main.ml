@@ -259,6 +259,14 @@ let run_speed () =
   | Some s -> Unix.putenv "T1000_NJOBS" s
   | None -> Unix.putenv "T1000_NJOBS" "")
   ;
+  let fuzz =
+    let dir = Filename.temp_file "t1000_bench_fuzz" "" in
+    Sys.remove dir;
+    let o = T1000_fuzz.Fuzz.run_cases ~out_dir:dir ~seed:42 ~cases:100 () in
+    Format.printf "  fuzz     100 cases %8.2f s  (%.0f cases/s)@."
+      o.T1000_fuzz.Fuzz.elapsed_s o.T1000_fuzz.Fuzz.cases_per_s;
+    o
+  in
   let speedup = if par_total > 0.0 then seq_total /. par_total else 0.0 in
   let oc = open_out "BENCH_engine.json" in
   Printf.fprintf oc
@@ -276,6 +284,13 @@ let run_speed () =
   json_of_leg oc ~njobs:1 ~total:seq_total seq_timings;
   Printf.fprintf oc ",\n  \"parallel\": ";
   json_of_leg oc ~njobs:par_njobs ~total:par_total par_timings;
+  Printf.fprintf oc
+    ",\n\
+    \  \"fuzz\": { \"cases\": %d, \"seconds\": %.3f, \"cases_per_s\": %.1f, \
+     \"failures\": %d }"
+    fuzz.T1000_fuzz.Fuzz.cases fuzz.T1000_fuzz.Fuzz.elapsed_s
+    fuzz.T1000_fuzz.Fuzz.cases_per_s
+    (List.length fuzz.T1000_fuzz.Fuzz.failures);
   Printf.fprintf oc ",\n  \"speedup\": %.3f\n}\n" speedup;
   close_out oc;
   Format.printf

@@ -29,7 +29,11 @@ let validate_env () =
   try
     ignore (T1000.Pool.default_njobs ());
     ignore (T1000_ooo.Sim.env_max_cycles ());
-    ignore (T1000.Fault.getenv_bool "T1000_SELFCHECK")
+    ignore (T1000.Fault.getenv_bool "T1000_SELFCHECK");
+    ignore (T1000.Pool.env_chaos ());
+    ignore (T1000.Pool.env_chaos_seed ());
+    ignore (T1000.Pool.env_retries ());
+    ignore (T1000.Checkpoint.default_dir_validated ())
   with
   | Invalid_argument msg ->
       Format.eprintf "t1000_cli: %s@." msg;
@@ -424,6 +428,113 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures.")
     Term.(const run $ jobs $ resume $ selfcheck_arg $ ids)
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let run jobs seed cases chaos drills out_dir =
+    (match jobs with
+    | Some n when n < 1 ->
+        Format.eprintf "t1000_cli: -j/--jobs must be >= 1, got %d@." n;
+        exit 2
+    | Some n -> Unix.putenv "T1000_NJOBS" (string_of_int n)
+    | None -> ());
+    with_faults @@ fun () ->
+    Format.printf "fuzz: seed %d, %d differential case(s), %d drill(s)%s@."
+      seed cases drills
+      (match chaos with
+      | None -> ""
+      | Some p -> Printf.sprintf ", chaos soak p=%g" p);
+    let o = T1000_fuzz.Fuzz.run_cases ~out_dir ~seed ~cases () in
+    Format.printf "fuzz: %d case(s) in %.1f s (%.1f cases/s), %d failure(s)@."
+      o.T1000_fuzz.Fuzz.cases o.T1000_fuzz.Fuzz.elapsed_s
+      o.T1000_fuzz.Fuzz.cases_per_s
+      (List.length o.T1000_fuzz.Fuzz.failures);
+    List.iter
+      (fun f -> Format.printf "%a@." T1000_fuzz.Fuzz.pp_failure f)
+      o.T1000_fuzz.Fuzz.failures;
+    let drill_failures =
+      if drills > 0 then T1000_fuzz.Fuzz.corruption_drills ~seed ~rounds:drills ()
+      else []
+    in
+    if drills > 0 then
+      Format.printf "fuzz: %d corruption drill(s), %d failure(s)@." drills
+        (List.length drill_failures);
+    List.iter (Format.printf "drill failure: %s@.") drill_failures;
+    let soak_failures =
+      match chaos with
+      | None -> []
+      | Some p -> (
+          match T1000_fuzz.Fuzz.chaos_soak ~p ~seed () with
+          | Ok () ->
+              Format.printf "fuzz: chaos soak (p=%g) byte-identical to calm@."
+                p;
+              []
+          | Error msg ->
+              Format.printf "chaos soak failure: %s@." msg;
+              [ msg ])
+    in
+    if
+      o.T1000_fuzz.Fuzz.failures <> [] || drill_failures <> []
+      || soak_failures <> []
+    then begin
+      Format.eprintf
+        "fuzz: FAILURES (reproduce any case with --seed %d; reproducer \
+         artifacts under %s)@."
+        seed out_dir;
+      exit 3
+    end
+    else Format.printf "fuzz: clean@."
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains for the fuzz sweep (overrides $(b,T1000_NJOBS)).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Run seed; every case and drill derives from it.")
+  in
+  let cases =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N"
+          ~doc:"Number of differential oracle cases to run.")
+  in
+  let chaos =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "chaos" ] ~docv:"P"
+          ~doc:
+            "Also run the chaos soak: a small experiment sweep under \
+             $(b,T1000_CHAOS)=$(docv) must lose zero rows and match a calm \
+             run exactly.")
+  in
+  let drills =
+    Arg.(
+      value & opt int 25
+      & info [ "drills" ] ~docv:"N"
+          ~doc:"Checkpoint-journal corruption drills to run (0 disables).")
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "_fuzz"
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Directory for shrunk reproducer artifacts.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random kernels and configurations through \
+          the whole pipeline against the functional interpreter, with \
+          shrinking, checkpoint corruption drills and an optional chaos \
+          soak.")
+    Term.(const run $ jobs $ seed $ cases $ chaos $ drills $ out_dir)
+
 let () =
   let doc =
     "T1000: configurable extended instructions on a superscalar core"
@@ -434,5 +545,5 @@ let () =
        (Cmd.group (Cmd.info "t1000_cli" ~doc)
           [
             list_cmd; disasm_cmd; profile_cmd; mine_cmd; replay_cmd;
-            run_cmd; dot_cmd; experiment_cmd;
+            run_cmd; dot_cmd; experiment_cmd; fuzz_cmd;
           ]))

@@ -63,4 +63,62 @@ diff "$CLEAN_OUT" "$RESUMED_OUT" || {
   exit 1
 }
 
+echo "== fuzz: differential oracle on a fixed seed =="
+# Bounded smoke of the fuzz subsystem: 100 random programs through the
+# whole pipeline against the reference interpreter, plus checkpoint
+# corruption drills.  Fixed seed, so a failure here is reproducible.
+FUZZ_DIR="$CKPT_DIR/fuzz"
+timeout 900 dune exec bin/t1000_cli.exe -- fuzz \
+  --seed 42 --cases 100 --drills 10 --out "$FUZZ_DIR"
+
+echo "== fuzz: armed off-by-one is caught and shrunk =="
+# With the deliberate commit-count bug armed the same sweep must fail
+# (exit 3), write a reproducer artifact, and shrink it to a small
+# program.
+set +e
+T1000_FAULT_INJECT=fuzz-oracle timeout 900 dune exec bin/t1000_cli.exe -- fuzz \
+  --seed 42 --cases 60 --drills 0 --out "$FUZZ_DIR" \
+  > "$CKPT_DIR/fuzz_armed.out" 2> "$CKPT_DIR/fuzz_armed.err"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit code 3 from the armed fuzz sweep, got $rc" >&2
+  cat "$CKPT_DIR/fuzz_armed.err" >&2
+  exit 1
+fi
+grep -q "reproducer:" "$CKPT_DIR/fuzz_armed.out" || {
+  echo "armed fuzz sweep did not write a reproducer" >&2
+  exit 1
+}
+SHRUNK=$(grep -o "shrunk to [0-9]* instructions" "$CKPT_DIR/fuzz_armed.out" \
+  | grep -o "[0-9]*" | sort -n | head -1)
+if [ -z "$SHRUNK" ] || [ "$SHRUNK" -gt 20 ]; then
+  echo "expected a reproducer shrunk to <= 20 instructions, got '${SHRUNK:-none}'" >&2
+  exit 1
+fi
+echo "smallest reproducer: $SHRUNK instructions"
+
+echo "== chaos: stormy resume sweep is byte-identical to calm =="
+# Under T1000_CHAOS the pool injects transient faults and kills worker
+# domains; retries plus the checkpoint journal must still deliver every
+# row, byte-identical to the chaos-free run above.
+CHAOS_CKPT=$(mktemp -d)
+CHAOS_OUT="$CKPT_DIR/chaos.out"
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 \
+  T1000_CHECKPOINT_DIR="$CHAOS_CKPT" T1000_CHAOS=0.2 T1000_CHAOS_SEED=7 \
+  timeout 900 dune exec bin/t1000_cli.exe -- experiment --resume s52 > "$CHAOS_OUT"
+rm -rf "$CHAOS_CKPT"
+diff "$CLEAN_OUT" "$CHAOS_OUT" || {
+  echo "chaotic sweep differs from the calm run" >&2
+  exit 1
+}
+
+# Long soak (opt-in): many more cases, drills and an in-process chaos
+# sweep.  Enable with T1000_SOAK=1.
+if [ "${T1000_SOAK:-0}" = "1" ]; then
+  echo "== soak: extended fuzz + chaos =="
+  timeout 3600 dune exec bin/t1000_cli.exe -- fuzz \
+    --seed 1337 --cases 2000 --drills 100 --chaos 0.2 --out "$FUZZ_DIR"
+fi
+
 echo "== ci ok =="

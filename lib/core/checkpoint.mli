@@ -30,6 +30,14 @@ val default_dir : unit -> string option
 (** The [T1000_CHECKPOINT_DIR] environment variable, if set and
     non-empty. *)
 
+val default_dir_validated : unit -> string option
+(** {!default_dir}, additionally rejecting a value that names an
+    existing non-directory (the directory itself need not exist yet —
+    {!create} makes it on demand).
+    @raise Fault.Error
+      with [Invalid_config] if the variable points at an existing
+      file. *)
+
 val create : ?fresh:bool -> dir:string -> run:string -> unit -> t
 (** Open (creating [dir] as needed) the journal for [run].  An existing
     journal is loaded, dropping corrupted records; [~fresh:true]

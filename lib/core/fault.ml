@@ -38,6 +38,12 @@ let of_exn ?(backtrace = "") = function
   | T1000_machine.Interp.Fault m -> Interp_fault m
   | e -> Crashed { exn = Printexc.to_string e; backtrace }
 
+(* Transient faults are worth retrying: an injected chaos fault or a
+   crash may be environmental (a dying worker, a flaky disk).  The
+   deterministic pipeline faults (bad config, watchdog, self-check,
+   verify) would fail identically on every retry. *)
+let transient = function Injected _ | Crashed _ -> true | _ -> false
+
 (* Exit-code policy shared by the CLI and CI: 2 = the run was
    misconfigured (bad setup field or environment variable), 3 = the run
    was configured fine but some points faulted (partial results). *)

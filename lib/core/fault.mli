@@ -46,6 +46,13 @@ val invalid_config : ('a, unit, string, 'b) format4 -> 'a
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val transient : t -> bool
+(** Whether a fault is plausibly environmental and worth retrying
+    ([Injected] and [Crashed]); the deterministic pipeline faults
+    ([Invalid_config], [Sim_stuck], [Selfcheck_failed], [Interp_fault],
+    [Verify_mismatch]) would fail identically on every retry.
+    {!Pool.parallel_map_result} consults this for its retry policy. *)
+
 val exit_code : t -> int
 (** Process exit code the CLI maps the fault to: 2 for
     [Invalid_config] (misconfigured run), 3 otherwise (partial

@@ -64,9 +64,120 @@ let parallel_map ?njobs f xs =
            (function Some v -> v | None -> assert false)
            results)
 
-let parallel_map_result ?njobs ?on_result f xs =
+(* -------- chaos configuration (T1000_CHAOS) --------
+
+   Chaos mode randomly injects transient faults into tasks and randomly
+   "kills" worker domains mid-sweep (the dying worker requeues its task
+   and spawns a replacement domain before exiting).  Every decision is a
+   pure hash of (chaos seed, task index, per-task counter), so the set
+   of injected faults — and therefore the final per-task results — is
+   identical at any worker count and on the sequential path, and a
+   chaos-free rerun with the same inputs returns byte-identical rows. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* Deterministic float in [0, 1) from (seed, salt, a, b). *)
+let hash_unit ~seed ~salt ~a ~b =
+  let open Int64 in
+  let h = mix64 (add (of_int b) 0x9e3779b97f4a7c15L) in
+  let h = mix64 (logxor h (of_int a)) in
+  let h = mix64 (logxor h (of_int salt)) in
+  let h = mix64 (logxor h (of_int seed)) in
+  to_float (shift_right_logical h 11) /. 9007199254740992.0
+
+let env_chaos () =
+  match Sys.getenv_opt "T1000_CHAOS" with
+  | None -> 0.0
+  | Some s when String.trim s = "" -> 0.0
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some p when p >= 0.0 && p < 1.0 -> p
+      | Some _ | None ->
+          raise
+            (Fault.Error
+               (Fault.Invalid_config
+                  (Printf.sprintf
+                     "T1000_CHAOS must be a fault probability in [0, 1), \
+                      got %S"
+                     s))))
+
+let env_chaos_seed () =
+  match Sys.getenv_opt "T1000_CHAOS_SEED" with
+  | None -> 1
+  | Some s when String.trim s = "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          raise
+            (Fault.Error
+               (Fault.Invalid_config
+                  (Printf.sprintf "T1000_CHAOS_SEED must be an integer, got %S"
+                     s))))
+
+let env_retries () =
+  match Sys.getenv_opt "T1000_RETRIES" with
+  | None -> None
+  | Some s when String.trim s = "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> Some n
+      | Some _ | None ->
+          raise
+            (Fault.Error
+               (Fault.Invalid_config
+                  (Printf.sprintf
+                     "T1000_RETRIES must be a non-negative integer, got %S" s))))
+
+type chaos = { p : float; seed : int }
+
+let chaos_config () =
+  let p = env_chaos () in
+  if p > 0.0 then Some { p; seed = env_chaos_seed () } else None
+
+(* Cumulative observability counters (injected faults, worker kills),
+   so tests and the CLI can assert chaos actually happened. *)
+let injected_total = Atomic.make 0
+let killed_total = Atomic.make 0
+let chaos_events () = (Atomic.get injected_total, Atomic.get killed_total)
+
+(* Capped exponential backoff before retrying a transient fault: 1 ms,
+   2 ms, 4 ms, ... capped at 50 ms, so even a long retry chain costs
+   well under a second next to one simulation. *)
+let backoff_delay attempt =
+  Float.min 0.05 (0.001 *. Float.of_int (1 lsl min attempt 16))
+
+(* How many worker kills a single map tolerates; a replacement domain
+   is spawned for each, so this only bounds spawn churn. *)
+let kill_cap = 16
+
+let parallel_map_result ?njobs ?retries ?on_result f xs =
   let njobs =
     match njobs with Some n -> max 1 n | None -> default_njobs ()
+  in
+  let chaos = chaos_config () in
+  let retries =
+    match retries with
+    | Some r -> max 0 r
+    | None -> (
+        match env_retries () with
+        | Some r -> r
+        | None -> if chaos = None then 0 else 10)
+  in
+  let inject_here ~index ~attempt =
+    match chaos with
+    | None -> false
+    | Some { p; seed } -> hash_unit ~seed ~salt:1 ~a:index ~b:attempt < p
+  in
+  let kill_here ~index ~pops =
+    match chaos with
+    | None -> false
+    | Some { p; seed } ->
+        pops < 4 && hash_unit ~seed ~salt:2 ~a:index ~b:pops < p /. 2.0
   in
   let wrap x =
     match f x with
@@ -75,44 +186,149 @@ let parallel_map_result ?njobs ?on_result f xs =
         let backtrace = Printexc.get_backtrace () in
         Error (Fault.of_exn ~backtrace e)
   in
+  let attempt_task ~index ~attempt x =
+    if inject_here ~index ~attempt then begin
+      Atomic.incr injected_total;
+      Error
+        (Fault.Injected
+           (Printf.sprintf "chaos (T1000_CHAOS): task %d attempt %d" index
+              attempt))
+    end
+    else wrap x
+  in
   match xs with
   | [] -> []
   | xs when njobs = 1 ->
+      (* Sequential path: same per-task attempt sequence (and therefore
+         the same final results) as the pool, no kills, no domains. *)
+      let notify_dead = ref false in
       List.mapi
         (fun i x ->
-          let r = wrap x in
-          (match on_result with None -> () | Some g -> g i r);
-          r)
+          let rec go attempt =
+            match attempt_task ~index:i ~attempt x with
+            | Error fault when Fault.transient fault && attempt < retries ->
+                Unix.sleepf (backoff_delay attempt);
+                go (attempt + 1)
+            | r -> r
+          in
+          let r = go 0 in
+          match on_result with
+          | Some g when not !notify_dead -> (
+              try
+                g i r;
+                r
+              with e ->
+                notify_dead := true;
+                Error
+                  (Fault.Crashed
+                     {
+                       exn = "on_result: " ^ Printexc.to_string e;
+                       backtrace = Printexc.get_backtrace ();
+                     }))
+          | _ -> r)
         xs
   | xs ->
       let input = Array.of_list xs in
       let n = Array.length input in
       let results = Array.make n None in
-      let next = Atomic.make 0 in
-      let notify_mutex = Mutex.create () in
-      let worker () =
-        let continue = ref true in
-        while !continue do
-          let i = Atomic.fetch_and_add next 1 in
-          if i >= n then continue := false
-          else begin
-            let r = wrap input.(i) in
-            results.(i) <- Some r;
-            match on_result with
-            | None -> ()
-            | Some g ->
-                Mutex.lock notify_mutex;
-                Fun.protect
-                  ~finally:(fun () -> Mutex.unlock notify_mutex)
-                  (fun () -> g i r)
+      let m = Mutex.create () in
+      let cv = Condition.create () in
+      (* Work items are (index, attempt, pops): [attempt] counts real
+         evaluation attempts (bounded by [retries]); [pops] counts how
+         many times the item left the queue, which keeps the kill
+         decision deterministic yet different on every requeue. *)
+      let queue = Queue.create () in
+      Array.iteri (fun i _ -> Queue.add (i, 0, 0) queue) input;
+      let remaining = ref n in
+      let spawned = ref [] in
+      let kills = ref 0 in
+      let notify_dead = ref false in
+      let rec worker () =
+        Mutex.lock m;
+        worker_loop ()
+      (* Invariant: called with [m] held; releases it before returning. *)
+      and worker_loop () =
+        if !remaining = 0 then begin
+          Condition.broadcast cv;
+          Mutex.unlock m
+        end
+        else if Queue.is_empty queue then begin
+          (* Every unfinished task is in flight on some worker and will
+             either finalize (remaining hits 0 -> broadcast) or requeue
+             (-> signal), so this wait always ends. *)
+          Condition.wait cv m;
+          worker_loop ()
+        end
+        else begin
+          let i, attempt, pops = Queue.pop queue in
+          if kill_here ~index:i ~pops && !kills < kill_cap then begin
+            (* This worker domain "dies" mid-sweep: requeue its task
+               untouched, spawn a replacement, exit the loop.  The row
+               is not lost — the replacement (or any surviving worker)
+               picks it up. *)
+            incr kills;
+            Atomic.incr killed_total;
+            Queue.add (i, attempt, pops + 1) queue;
+            spawned := Domain.spawn worker :: !spawned;
+            Condition.signal cv;
+            Mutex.unlock m
           end
-        done
+          else begin
+            Mutex.unlock m;
+            match attempt_task ~index:i ~attempt input.(i) with
+            | Error fault when Fault.transient fault && attempt < retries ->
+                Unix.sleepf (backoff_delay attempt);
+                Mutex.lock m;
+                Queue.add (i, attempt + 1, pops + 1) queue;
+                Condition.signal cv;
+                worker_loop ()
+            | r ->
+                Mutex.lock m;
+                let r =
+                  (* An exception escaping on_result (e.g. the journal's
+                     disk dying) no longer aborts the map: it surfaces
+                     as this element's Crashed fault, notifications stop,
+                     and every other task still completes. *)
+                  match on_result with
+                  | Some g when not !notify_dead -> (
+                      try
+                        g i r;
+                        r
+                      with e ->
+                        notify_dead := true;
+                        Error
+                          (Fault.Crashed
+                             {
+                               exn = "on_result: " ^ Printexc.to_string e;
+                               backtrace = Printexc.get_backtrace ();
+                             }))
+                  | _ -> r
+                in
+                results.(i) <- Some r;
+                decr remaining;
+                if !remaining = 0 then Condition.broadcast cv;
+                worker_loop ()
+          end
+        end
       in
-      let domains =
-        List.init (min njobs n - 1) (fun _ -> Domain.spawn worker)
-      in
+      for _ = 2 to min njobs n do
+        spawned := Domain.spawn worker :: !spawned
+      done;
       worker ();
-      List.iter Domain.join domains;
+      (* Join every domain, including replacements spawned by chaos
+         kills while we were already joining. *)
+      let rec join_all () =
+        Mutex.lock m;
+        let ds = !spawned in
+        spawned := [];
+        Mutex.unlock m;
+        match ds with
+        | [] -> ()
+        | ds ->
+            List.iter Domain.join ds;
+            join_all ()
+      in
+      join_all ();
       Array.to_list
         (Array.map
            (function Some r -> r | None -> assert false)

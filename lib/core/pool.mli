@@ -39,6 +39,7 @@ val parallel_map : ?njobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val parallel_map_result :
   ?njobs:int ->
+  ?retries:int ->
   ?on_result:(int -> ('b, Fault.t) result -> unit) ->
   ('a -> 'b) ->
   'a list ->
@@ -50,9 +51,52 @@ val parallel_map_result :
     value or its classified fault.  This is what lets a sweep return
     partial rows plus a fault report instead of aborting the figure.
 
+    [?retries] bounds how many times a {!Fault.transient} failure
+    ([Injected]/[Crashed]) of one element is retried, with capped
+    exponential backoff (1 ms doubling to a 50 ms cap) between
+    attempts; deterministic faults are never retried.  Default: the
+    [T1000_RETRIES] environment variable when set, else 10 under
+    chaos mode (see below), else 0 — so a deterministic injection via
+    [T1000_FAULT_INJECT] still surfaces as it did before.
+
+    {b Chaos mode.}  Setting [T1000_CHAOS=p] (a probability in
+    [\[0, 1)]) makes the pool adversarial: each task attempt fails with
+    a transient [Fault.Injected] with probability [p], and with
+    probability [p/2] per dequeue a worker domain "dies" mid-sweep —
+    it requeues its task, spawns a replacement domain, and exits.
+    Every chaos decision is a pure hash of ([T1000_CHAOS_SEED], task
+    index, per-task counter), never of wall-clock or scheduling, so
+    with retries available the surviving results are identical to a
+    calm run at any worker count — the soak tests and [ci.sh] diff
+    the two byte-for-byte.  {!chaos_events} exposes cumulative
+    injection/kill counters for such assertions.
+
     [?on_result] is invoked once per element, with the element's input
-    index, as soon as its result is known (completion order, under an
-    internal mutex — so a {!Checkpoint} journal can be appended to
-    incrementally while later tasks are still running).  An exception
-    escaping [on_result] itself (e.g. the journal's disk filling up) is
-    not isolated: it propagates and aborts the map. *)
+    index, as soon as its final (post-retry) result is known
+    (completion order, under an internal mutex — so a {!Checkpoint}
+    journal can be appended to incrementally while later tasks are
+    still running).  An exception escaping [on_result] itself (e.g.
+    the journal's disk filling up) no longer aborts the map: it is
+    recorded as that element's [Fault.Crashed] (prefixed
+    ["on_result: "]), further notifications are suppressed, and every
+    other element still completes normally. *)
+
+val env_chaos : unit -> float
+(** The chaos probability from [T1000_CHAOS] (0.0 when unset/empty).
+    @raise Fault.Error
+      with [Invalid_config] if set to anything outside [\[0, 1)]. *)
+
+val env_chaos_seed : unit -> int
+(** The chaos hash seed from [T1000_CHAOS_SEED] (1 when unset/empty).
+    @raise Fault.Error with [Invalid_config] if set to a non-integer. *)
+
+val env_retries : unit -> int option
+(** The retry override from [T1000_RETRIES] ([None] when unset/empty).
+    @raise Fault.Error
+      with [Invalid_config] if set to a negative or non-integer
+      value. *)
+
+val chaos_events : unit -> int * int
+(** Cumulative ([injected], [killed]) chaos-event counters across all
+    {!parallel_map_result} calls in this process; tests subtract
+    before/after snapshots to assert chaos actually perturbed a run. *)

@@ -1,0 +1,242 @@
+open T1000_isa
+module Builder = T1000_asm.Builder
+module Memory = T1000_machine.Memory
+module Workload = T1000_workloads.Workload
+module Mconfig = T1000_ooo.Mconfig
+module Runner = T1000.Runner
+
+let data_base = 0x1000
+let out_base = 0x2000
+let n_data = 16
+
+(* The output region is a fixed window regardless of how many registers
+   a (possibly shrunk) case publishes: store slots at +0..+15, the wide
+   accumulator at +16, registers from +20.  Unwritten bytes are zero in
+   both original and rewritten runs, so the fixed size never masks a
+   divergence. *)
+let out_len = 20 + (2 * 8)
+
+let data_regs = [| Reg.t0; Reg.t1; Reg.t2; Reg.t3; Reg.t4; Reg.t5; Reg.t6; Reg.t7 |]
+
+type op =
+  | Alu3 of Op.alu * int * int * int
+  | Alui of Op.alu * int * int * int
+  | Shift of Op.shift * int * int * int
+  | Load of int * int
+  | Store of int * int
+  | Mask of int
+  | Acc of int
+  | Mult of int * int
+
+type block = { iters : int; body : op list }
+
+type fconfig = {
+  n_pfus : int option;
+  penalty : int;
+  replacement : Mconfig.pfu_replacement;
+  lut_budget : int;
+  gain_threshold : float;
+  ext_timing : [ `Single_cycle | `Lut_levels ];
+  config_prefetch : bool;
+  narrow_machine : bool;
+}
+
+type case = {
+  case_seed : int;
+  n_regs : int;
+  use_acc : bool;
+  blocks : block list;
+  config : fconfig;
+}
+
+(* ---- generation ---- *)
+
+let alu3_ops = Op.[| Add; Addu; Sub; Subu; And; Or; Xor; Slt; Sltu |]
+let alui_ops = Op.[| Add; Addu; And; Or; Xor; Slt |]
+let shift_ops = Op.[| Sll; Srl; Sra |]
+
+let gen_op rng n_regs =
+  let reg () = Rng.int rng n_regs in
+  (* Weighted mix, mirroring the proportions the hand-written workloads
+     exhibit: mostly ALU/shift chains (extraction candidates), with
+     enough loads/stores/wide ops to exercise the validity checks. *)
+  match Rng.int rng 21 with
+  | 0 | 1 | 2 | 3 | 4 ->
+      Alu3 (Rng.choose rng alu3_ops, reg (), reg (), reg ())
+  | 5 | 6 | 7 ->
+      Alui (Rng.choose rng alui_ops, reg (), reg (), Rng.range rng 0 255)
+  | 8 | 9 | 10 ->
+      Shift (Rng.choose rng shift_ops, reg (), reg (), Rng.range rng 0 3)
+  | 11 | 12 -> Load (reg (), Rng.range rng 0 (n_data - 1))
+  | 13 | 14 -> Store (reg (), Rng.range rng 0 7)
+  | 15 | 16 | 17 -> Mask (reg ())
+  | 18 | 19 -> Acc (reg ())
+  | _ -> Mult (reg (), reg ())
+
+let gen_block rng n_regs =
+  let iters = Rng.range rng 1 20 in
+  let body = List.init (Rng.range rng 3 24) (fun _ -> gen_op rng n_regs) in
+  { iters; body }
+
+let gen_config rng =
+  {
+    n_pfus = Rng.choose rng [| Some 1; Some 2; Some 2; Some 4; None |];
+    penalty = Rng.choose rng [| 0; 1; 10; 10; 100 |];
+    replacement =
+      Rng.choose rng Mconfig.[| Lru; Lru; Fifo; Random_det |];
+    lut_budget =
+      Rng.choose rng
+        [|
+          T1000_hwcost.Lut.default_budget;
+          T1000_hwcost.Lut.default_budget;
+          T1000_hwcost.Lut.default_budget;
+          80;
+          40;
+        |];
+    gain_threshold = Rng.choose rng [| 0.005; 0.005; 0.0; 0.02 |];
+    ext_timing =
+      (if Rng.bool rng ~p:0.25 then `Lut_levels else `Single_cycle);
+    config_prefetch = Rng.bool rng ~p:0.25;
+    narrow_machine = Rng.bool rng ~p:0.2;
+  }
+
+let generate ~seed =
+  let rng = Rng.create seed in
+  let n_regs = Rng.range rng 2 8 in
+  let use_acc = Rng.bool rng ~p:0.7 in
+  let blocks = List.init (Rng.range rng 1 3) (fun _ -> gen_block rng n_regs) in
+  { case_seed = seed; n_regs; use_acc; blocks; config = gen_config rng }
+
+(* ---- assembly ---- *)
+
+let block_loads blk =
+  List.exists (function Load _ -> true | _ -> false) blk.body
+
+let program c =
+  let nr = max 1 (min c.n_regs (Array.length data_regs)) in
+  let reg i = data_regs.(i mod nr) in
+  let b = Builder.create ~name:(Printf.sprintf "fuzz%d" c.case_seed) () in
+  if List.exists block_loads c.blocks then Builder.li b Reg.a0 data_base;
+  Builder.li b Reg.a1 out_base;
+  if c.use_acc then Builder.li b Reg.s3 0x100000;
+  for i = 0 to nr - 1 do
+    Builder.li b data_regs.(i) ((i * 37) land 0xFF)
+  done;
+  List.iteri
+    (fun bi blk ->
+      Builder.li b Reg.s0 (max 1 blk.iters);
+      let top = Builder.fresh_label b (Printf.sprintf "b%d" bi) in
+      Builder.label b top;
+      List.iter
+        (fun op ->
+          match op with
+          | Alu3 (op, d, s1, s2) ->
+              Builder.raw b (Instr.Alu_rrr (op, reg d, reg s1, reg s2))
+          | Alui (op, d, s, imm) ->
+              Builder.raw b (Instr.Alu_rri (op, reg d, reg s, imm land 0xFFFF))
+          | Shift (op, d, s, sh) ->
+              Builder.raw b (Instr.Shift_imm (op, reg d, reg s, sh land 31))
+          | Load (d, slot) ->
+              Builder.lh b (reg d) (2 * (slot mod n_data)) Reg.a0
+          | Store (s, slot) ->
+              Builder.sh b (reg s) (2 * (slot mod 8)) Reg.a1
+          | Mask d -> Builder.andi b (reg d) (reg d) 0xFFF
+          | Acc s -> if c.use_acc then Builder.addu b Reg.s3 Reg.s3 (reg s)
+          | Mult (x, y) ->
+              Builder.mult b (reg x) (reg y);
+              Builder.mflo b (reg 0))
+        blk.body;
+      Builder.addiu b Reg.s0 Reg.s0 (-1);
+      Builder.bgtz b Reg.s0 top)
+    c.blocks;
+  if c.use_acc then Builder.sw b Reg.s3 16 Reg.a1;
+  for i = 0 to nr - 1 do
+    Builder.sh b data_regs.(i) (20 + (2 * i)) Reg.a1
+  done;
+  Builder.halt b;
+  Builder.build b
+
+let workload c =
+  {
+    Workload.name = Printf.sprintf "fuzz%d" c.case_seed;
+    description = "generated fuzz kernel";
+    program = program c;
+    init =
+      (fun mem _regs ->
+        for i = 0 to n_data - 1 do
+          Memory.store_half mem (data_base + (2 * i)) ((i * 1237) land 0x7FF)
+        done);
+    out_base;
+    out_len;
+  }
+
+let narrow_machine_of base =
+  {
+    base with
+    Mconfig.fetch_width = 2;
+    decode_width = 2;
+    issue_width = 2;
+    commit_width = 2;
+    ruu_size = 32;
+    n_int_alu = 2;
+    n_mem_ports = 1;
+  }
+
+let setup ?(method_ = Runner.Greedy) c =
+  let s =
+    Runner.setup ~n_pfus:c.config.n_pfus ~penalty:c.config.penalty
+      ~selfcheck:true method_
+  in
+  {
+    s with
+    Runner.replacement = c.config.replacement;
+    lut_budget = c.config.lut_budget;
+    gain_threshold = c.config.gain_threshold;
+    ext_timing = c.config.ext_timing;
+    config_prefetch = c.config.config_prefetch;
+    machine =
+      (if c.config.narrow_machine then narrow_machine_of s.Runner.machine
+       else s.Runner.machine);
+  }
+
+let instr_count c = T1000_asm.Program.length (program c)
+
+(* ---- printing ---- *)
+
+let pp_op ppf = function
+  | Alu3 (op, d, s1, s2) ->
+      Format.fprintf ppf "%s r%d, r%d, r%d" (Op.alu_to_string op) d s1 s2
+  | Alui (op, d, s, imm) ->
+      Format.fprintf ppf "%si r%d, r%d, %d" (Op.alu_to_string op) d s imm
+  | Shift (op, d, s, sh) ->
+      Format.fprintf ppf "%s r%d, r%d, %d" (Op.shift_to_string op) d s sh
+  | Load (d, slot) -> Format.fprintf ppf "load r%d, slot %d" d slot
+  | Store (s, slot) -> Format.fprintf ppf "store r%d, slot %d" s slot
+  | Mask d -> Format.fprintf ppf "mask r%d" d
+  | Acc s -> Format.fprintf ppf "acc += r%d" s
+  | Mult (x, y) -> Format.fprintf ppf "mult r%d, r%d" x y
+
+let pp_config ppf f =
+  Format.fprintf ppf
+    "n_pfus=%s penalty=%d replacement=%s lut_budget=%d gain=%g timing=%s \
+     prefetch=%b narrow=%b"
+    (match f.n_pfus with None -> "unlimited" | Some n -> string_of_int n)
+    f.penalty
+    (match f.replacement with
+    | Mconfig.Lru -> "lru"
+    | Mconfig.Fifo -> "fifo"
+    | Mconfig.Random_det -> "random")
+    f.lut_budget f.gain_threshold
+    (match f.ext_timing with
+    | `Single_cycle -> "single-cycle"
+    | `Lut_levels -> "lut-levels")
+    f.config_prefetch f.narrow_machine
+
+let pp_case ppf c =
+  Format.fprintf ppf "seed %d: n_regs=%d use_acc=%b@\nconfig: %a" c.case_seed
+    c.n_regs c.use_acc pp_config c.config;
+  List.iteri
+    (fun i blk ->
+      Format.fprintf ppf "@\nblock %d: %d iterations" i blk.iters;
+      List.iter (fun op -> Format.fprintf ppf "@\n  %a" pp_op op) blk.body)
+    c.blocks

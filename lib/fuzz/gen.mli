@@ -1,0 +1,85 @@
+(** Seeded generator of valid fuzz cases.
+
+    A case is a loop kernel (halting by construction: every block is a
+    counted loop over a decrementing counter) over a small pool of
+    narrow data registers, mixing candidate ALU/shift chains with
+    loads, stores, wide accumulation and multiplies — the instruction
+    mix the extraction pipeline actually discriminates on — plus a
+    random {!T1000.Runner.setup} point (PFU count, reconfiguration
+    penalty, replacement policy, LUT budget, timing model, machine
+    width).
+
+    The case datatype is deliberately structural (not a baked program)
+    so the shrinker can delete blocks, drop body operations, zero
+    constants and simplify the configuration while preserving
+    validity. *)
+
+open T1000_isa
+
+val data_base : int
+(** Base address of the input halfword table the generated loads read. *)
+
+val out_base : int
+(** Base address of the observable output region. *)
+
+val out_len : int
+(** Fixed length of the observable output region in bytes (store slots,
+    wide accumulator, published registers). *)
+
+(** One abstract body operation; register operands are indices into the
+    data-register pool, reduced modulo the case's [n_regs]. *)
+type op =
+  | Alu3 of Op.alu * int * int * int  (** op, dst, src1, src2 *)
+  | Alui of Op.alu * int * int * int  (** op, dst, src, imm *)
+  | Shift of Op.shift * int * int * int  (** op, dst, src, shamt *)
+  | Load of int * int  (** dst reg, input slot *)
+  | Store of int * int  (** src reg, output slot *)
+  | Mask of int  (** re-narrow: andi r, r, 0xFFF *)
+  | Acc of int  (** wide accumulate: s3 += reg (only if [use_acc]) *)
+  | Mult of int * int  (** mult + mflo to reg 0 *)
+
+type block = { iters : int; body : op list }
+
+(** The random configuration point the case runs under. *)
+type fconfig = {
+  n_pfus : int option;
+  penalty : int;
+  replacement : T1000_ooo.Mconfig.pfu_replacement;
+  lut_budget : int;
+  gain_threshold : float;
+  ext_timing : [ `Single_cycle | `Lut_levels ];
+  config_prefetch : bool;
+  narrow_machine : bool;  (** 2-wide machine instead of the default 4 *)
+}
+
+type case = {
+  case_seed : int;
+  n_regs : int;  (** live data registers, 1–8 *)
+  use_acc : bool;
+  blocks : block list;
+  config : fconfig;
+}
+
+val generate : seed:int -> case
+(** The case deterministically derived from [seed]. *)
+
+val program : case -> T1000_asm.Program.t
+(** Assemble the case: prologue (bases, register init), one counted
+    loop per block, epilogue publishing the accumulator and every data
+    register into the output region, then halt. *)
+
+val workload : case -> T1000_workloads.Workload.t
+(** The case packaged as a workload (deterministic input table,
+    observable output region), ready for {!T1000.Runner}. *)
+
+val setup : ?method_:T1000.Runner.method_ -> case -> T1000.Runner.setup
+(** The runner setup for the case's configuration point, with
+    self-check always enabled (default method: [Greedy]). *)
+
+val instr_count : case -> int
+(** Static instruction count of {!program}[ case] — the size the
+    shrinker minimizes and the reproducer reports. *)
+
+val pp_case : Format.formatter -> case -> unit
+(** Render the structural spec (config + blocks), without the
+    assembled program text. *)

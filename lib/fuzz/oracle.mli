@@ -1,0 +1,32 @@
+(** The differential oracle: one fuzz case, every invariant.
+
+    Each case runs through the complete pipeline — profile, greedy
+    {e and} selective selection, rewrite, cycle-level simulation with
+    self-check enabled — and is cross-validated against the functional
+    interpreter:
+
+    - the rewritten program's architectural output (the workload's
+      whole observable region, extended instructions evaluated through
+      their {!T1000_select.Extinstr} evaluators) equals the original's;
+    - the rewritten program never retires more instructions than the
+      original;
+    - the timing simulator commits exactly the instruction count the
+      interpreter retires, for baseline and rewritten programs alike;
+    - the measured speedup is finite and positive.
+
+    [T1000_FAULT_INJECT=fuzz-oracle] arms a deliberate off-by-one in
+    the commit-count model (only when extended instructions actually
+    committed), so the test suite and [ci.sh] can prove the oracle
+    catches a broken invariant and shrinks it to a small reproducer. *)
+
+type failure = {
+  method_ : string;  (** "baseline", "greedy", "selective" or "pipeline" *)
+  invariant : string;  (** short id, e.g. ["state-divergence"] *)
+  detail : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val check : Gen.case -> (unit, failure) result
+(** Never raises: pipeline exceptions (watchdog, self-check, verify,
+    interpreter faults) are folded into an [Error] via {!T1000.Fault}. *)

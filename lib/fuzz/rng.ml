@@ -1,0 +1,37 @@
+(* splitmix64: tiny, fast, and statistically solid far beyond what a
+   fuzzer needs.  State advances by the 64-bit golden ratio; outputs
+   are the finalizer of the raw counter. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9e3779b97f4a7c15L
+
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+
+let bool t ~p = float t < p
+let choose t arr = arr.(int t (Array.length arr))
+
+let derive seed i =
+  let h = mix (Int64.add (Int64.mul (Int64.of_int seed) golden) (Int64.of_int i)) in
+  Int64.to_int (Int64.shift_right_logical h 2)

@@ -1,0 +1,33 @@
+(** Deterministic seeded PRNG for the fuzzer (splitmix64).
+
+    The fuzzer never touches [Random.self_init]: every generated case,
+    shrink schedule and corruption drill is a pure function of an
+    integer seed, so a failure printed with its seed reproduces exactly
+    on any machine ([t1000 fuzz --seed S]). *)
+
+type t
+
+val create : int -> t
+(** A generator deterministically derived from [seed]. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] draws uniformly from [\[lo, hi\]] inclusive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** A uniformly chosen element.
+    @raise Invalid_argument on an empty array. *)
+
+val derive : int -> int -> int
+(** [derive seed i]: the [i]-th independent non-negative sub-seed of
+    [seed] — a pure hash, so case [i] of a fuzz run can be regenerated
+    without drawing the [i - 1] cases before it. *)

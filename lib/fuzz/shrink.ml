@@ -1,0 +1,160 @@
+open Gen
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let remove_chunk l off len =
+  List.filteri (fun i _ -> i < off || i >= off + len) l
+
+let set_block blocks bi blk' =
+  List.mapi (fun i blk -> if i = bi then blk' else blk) blocks
+
+(* Candidate simplifications of [c], most aggressive first, so one
+   surviving candidate removes as much as possible per oracle call.
+   Every candidate is strictly simpler than [c] (no-ops are filtered),
+   which is what guarantees the fixpoint below terminates. *)
+let candidates c =
+  let with_blocks bs = { c with blocks = bs } in
+  let nb = List.length c.blocks in
+  let drop_blocks =
+    if nb <= 1 then []
+    else List.init nb (fun i -> with_blocks (drop_nth c.blocks i))
+  in
+  let chunk_removals =
+    List.concat
+      (List.mapi
+         (fun bi blk ->
+           let n = List.length blk.body in
+           let sizes =
+             List.sort_uniq compare
+               (List.filter (fun s -> s >= 1 && s < n) [ n / 2; n / 4; 1 ])
+           in
+           List.concat_map
+             (fun cs ->
+               List.init
+                 ((n + cs - 1) / cs)
+                 (fun k ->
+                   with_blocks
+                     (set_block c.blocks bi
+                        { blk with body = remove_chunk blk.body (k * cs) cs })))
+             (List.rev sizes (* big chunks first *)))
+         c.blocks)
+  in
+  let iter_reductions =
+    List.concat
+      (List.mapi
+         (fun bi blk ->
+           (if blk.iters > 1 then
+              [ with_blocks (set_block c.blocks bi { blk with iters = 1 }) ]
+            else [])
+           @
+           if blk.iters > 2 then
+             [
+               with_blocks
+                 (set_block c.blocks bi { blk with iters = blk.iters / 2 });
+             ]
+           else [])
+         c.blocks)
+  in
+  let drop_acc =
+    if c.use_acc then
+      [
+        {
+          c with
+          use_acc = false;
+          blocks =
+            List.map
+              (fun blk ->
+                {
+                  blk with
+                  body =
+                    List.filter
+                      (function Acc _ -> false | _ -> true)
+                      blk.body;
+                })
+              c.blocks;
+        };
+      ]
+    else []
+  in
+  let drop_regs =
+    if c.n_regs > 1 then [ { c with n_regs = c.n_regs - 1 } ] else []
+  in
+  let zero_imms =
+    List.concat
+      (List.mapi
+         (fun bi blk ->
+           List.concat
+             (List.mapi
+                (fun oi op ->
+                  let repl op' =
+                    [
+                      with_blocks
+                        (set_block c.blocks bi
+                           {
+                             blk with
+                             body =
+                               List.mapi
+                                 (fun i o -> if i = oi then op' else o)
+                                 blk.body;
+                           });
+                    ]
+                  in
+                  match op with
+                  | Alui (o, d, s, imm) when imm <> 0 ->
+                      repl (Alui (o, d, s, 0))
+                  | Shift (o, d, s, sh) when sh <> 0 ->
+                      repl (Shift (o, d, s, 0))
+                  | _ -> [])
+                blk.body))
+         c.blocks)
+  in
+  let with_config f = { c with config = f c.config } in
+  let config_reductions =
+    List.concat
+      [
+        (if c.config.penalty <> 0 then
+           [ with_config (fun f -> { f with penalty = 0 }) ]
+         else []);
+        (if c.config.n_pfus <> Some 1 then
+           [ with_config (fun f -> { f with n_pfus = Some 1 }) ]
+         else []);
+        (if c.config.replacement <> T1000_ooo.Mconfig.Lru then
+           [ with_config (fun f -> { f with replacement = T1000_ooo.Mconfig.Lru }) ]
+         else []);
+        (if c.config.ext_timing <> `Single_cycle then
+           [ with_config (fun f -> { f with ext_timing = `Single_cycle }) ]
+         else []);
+        (if c.config.config_prefetch then
+           [ with_config (fun f -> { f with config_prefetch = false }) ]
+         else []);
+        (if c.config.narrow_machine then
+           [ with_config (fun f -> { f with narrow_machine = false }) ]
+         else []);
+        (if c.config.gain_threshold <> 0.0 then
+           [ with_config (fun f -> { f with gain_threshold = 0.0 }) ]
+         else []);
+        (if c.config.lut_budget <> T1000_hwcost.Lut.default_budget then
+           [
+             with_config (fun f ->
+                 { f with lut_budget = T1000_hwcost.Lut.default_budget });
+           ]
+         else []);
+      ]
+  in
+  drop_blocks @ chunk_removals @ iter_reductions @ drop_acc @ drop_regs
+  @ zero_imms @ config_reductions
+
+let shrink ~still_fails ?(max_tests = 1000) c0 =
+  let tests = ref 0 in
+  let keep c =
+    incr tests;
+    !tests <= max_tests && still_fails c
+  in
+  let rec go c =
+    if !tests > max_tests then c
+    else
+      match List.find_opt keep (candidates c) with
+      | Some c' -> go c'
+      | None -> c
+  in
+  go c0

@@ -1,0 +1,16 @@
+(** Greedy case shrinker (delta debugging).
+
+    Given a failing case, repeatedly tries strictly-simpler variants —
+    drop whole blocks, remove chunks of body operations (halves first,
+    then singles), collapse iteration counts, zero immediates, shed
+    registers and the accumulator, reset configuration fields to their
+    defaults — keeping a variant whenever it still fails, until no
+    simplification survives or the test budget runs out.  Because
+    every candidate is structurally smaller (or strictly closer to the
+    default configuration), the loop always terminates. *)
+
+val shrink :
+  still_fails:(Gen.case -> bool) -> ?max_tests:int -> Gen.case -> Gen.case
+(** [shrink ~still_fails c] with [c] failing returns a (usually much)
+    smaller case that still satisfies [still_fails].  [max_tests]
+    bounds the number of oracle invocations (default 1000). *)

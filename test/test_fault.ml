@@ -189,6 +189,83 @@ let test_checkpoint_corruption () =
     | Some 1.0, None | None, Some 2.0 -> true
     | _ -> false)
 
+let test_checkpoint_empty_file () =
+  let dir = fresh_dir () in
+  let j = Checkpoint.create ~fresh:true ~dir ~run:"empty" () in
+  (* an empty journal file — e.g. a crash between open and first flush *)
+  Out_channel.with_open_bin (Checkpoint.path j) (fun _ -> ());
+  let j2 = Checkpoint.create ~dir ~run:"empty" () in
+  check_int "no records" 0 (Checkpoint.completed j2);
+  check_bool "and nothing corrupt" true (Checkpoint.corrupt j2 = []);
+  Checkpoint.record j2 ~key:"k" 1.0;
+  let j3 = Checkpoint.create ~dir ~run:"empty" () in
+  check_bool "recording into it works" true
+    (Checkpoint.find j3 ~key:"k" = Some 1.0)
+
+let test_checkpoint_torn_last_line () =
+  let dir = fresh_dir () in
+  let j = Checkpoint.create ~fresh:true ~dir ~run:"torn" () in
+  Checkpoint.record j ~key:"a" 1.0;
+  Checkpoint.record j ~key:"b" 2.0;
+  (* records flush sorted by key, so chopping the tail tears "b" *)
+  let path = Checkpoint.path j in
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub s 0 (String.length s - 5)));
+  let j2 = Checkpoint.create ~dir ~run:"torn" () in
+  check_int "torn record dropped" 1 (List.length (Checkpoint.corrupt j2));
+  check_int "the other survives" 1 (Checkpoint.completed j2);
+  check_bool "survivor intact, torn one absent" true
+    (Checkpoint.find j2 ~key:"a" = Some 1.0
+    && (Checkpoint.find j2 ~key:"b" : float option) = None);
+  (* recomputing the torn point heals the journal on the next flush *)
+  Checkpoint.record j2 ~key:"b" 2.0;
+  let j3 = Checkpoint.create ~dir ~run:"torn" () in
+  check_bool "healed" true
+    (Checkpoint.corrupt j3 = []
+    && Checkpoint.find j3 ~key:"b" = Some 2.0
+    && Checkpoint.find j3 ~key:"a" = Some 1.0)
+
+let test_checkpoint_duplicate_key_last_wins () =
+  let dir = fresh_dir () in
+  let j = Checkpoint.create ~fresh:true ~dir ~run:"dup" () in
+  Checkpoint.record j ~key:"k" 1.0;
+  let path = Checkpoint.path j in
+  let old_line =
+    match In_channel.with_open_text path In_channel.input_lines with
+    | [ l ] -> l
+    | ls -> Alcotest.failf "expected one journal line, got %d" (List.length ls)
+  in
+  Checkpoint.record j ~key:"k" 2.0;
+  (* a crashed writer appends the stale record after the current one *)
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (s ^ old_line ^ "\n"));
+  let j2 = Checkpoint.create ~dir ~run:"dup" () in
+  check_bool "both records parse" true (Checkpoint.corrupt j2 = []);
+  check_int "one binding" 1 (Checkpoint.completed j2);
+  check_bool "the last record wins" true (Checkpoint.find j2 ~key:"k" = Some 1.0)
+
+let test_checkpoint_dir_validation () =
+  let dir = fresh_dir () in
+  (* unset/empty and a (possibly not-yet-existing) directory are fine *)
+  check_bool "unset ok" true
+    (with_env Checkpoint.env_var "" (fun () ->
+         Checkpoint.default_dir_validated () = None));
+  check_bool "missing dir ok" true
+    (with_env Checkpoint.env_var dir (fun () ->
+         Checkpoint.default_dir_validated () = Some dir));
+  (* pointing it at an existing file is a misconfiguration *)
+  let file = Filename.temp_file "t1000_ckpt" ".not_a_dir" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      check_bool "file rejected" true
+        (with_env Checkpoint.env_var file (fun () ->
+             match Checkpoint.default_dir_validated () with
+             | _ -> false
+             | exception Fault.Error (Fault.Invalid_config _) -> true)))
+
 (* ---------- Runner validation ---------- *)
 
 let test_runner_validation () =
@@ -395,6 +472,14 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_checkpoint_roundtrip;
           Alcotest.test_case "corruption recovery" `Quick
             test_checkpoint_corruption;
+          Alcotest.test_case "empty journal file" `Quick
+            test_checkpoint_empty_file;
+          Alcotest.test_case "torn last line" `Quick
+            test_checkpoint_torn_last_line;
+          Alcotest.test_case "duplicate key, last wins" `Quick
+            test_checkpoint_duplicate_key_last_wins;
+          Alcotest.test_case "T1000_CHECKPOINT_DIR validation" `Quick
+            test_checkpoint_dir_validation;
         ] );
       ( "runner",
         [

@@ -303,6 +303,188 @@ let test_corpus_folds () =
     (Printf.sprintf "corpus folds something (got %d collapses)" !total)
     true (!total > 30)
 
+(* ================= lib/fuzz: the seeded fuzz subsystem ================= *)
+
+module F = T1000_fuzz
+module Pool = T1000.Pool
+module Fault = T1000.Fault
+
+let with_env var value f =
+  let saved = Sys.getenv_opt var in
+  Unix.putenv var value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv var (match saved with Some s -> s | None -> ""))
+    f
+
+(* ---- generator: determinism, validity, halting ---- *)
+
+let test_gen_deterministic () =
+  let text seed = Asm_text.to_string (F.Gen.program (F.Gen.generate ~seed)) in
+  Alcotest.(check string) "same seed, same program" (text 42) (text 42);
+  let distinct =
+    List.sort_uniq compare (List.init 20 (fun i -> text (1000 + i)))
+  in
+  Alcotest.(check bool) "different seeds differ" true
+    (List.length distinct > 10)
+
+let test_gen_halts () =
+  for seed = 0 to 29 do
+    let c = F.Gen.generate ~seed in
+    let w = F.Gen.workload c in
+    let mem = T1000_machine.Memory.create () in
+    let regs = T1000_machine.Regfile.create () in
+    w.T1000_workloads.Workload.init mem regs;
+    let it =
+      T1000_machine.Interp.create ~mem ~regs
+        w.T1000_workloads.Workload.program
+    in
+    let steps = T1000_machine.Interp.run ~max_steps:200_000 it in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d halts quickly (took %d steps)" seed steps)
+      true
+      (steps > 0 && steps < 200_000)
+  done
+
+(* ---- oracle: clean corpus, armed bug caught and shrunk ---- *)
+
+let test_oracle_clean () =
+  for seed = 0 to 30 do
+    match F.Oracle.check (F.Gen.generate ~seed) with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "seed %d fails the oracle: %s" seed
+          (Format.asprintf "%a" F.Oracle.pp_failure f)
+  done
+
+let test_oracle_catches_armed_bug () =
+  with_env "T1000_FAULT_INJECT" "fuzz-oracle" @@ fun () ->
+  let buggy_seed =
+    let rec find i =
+      if i >= 100 then Alcotest.fail "armed bug never tripped in 100 cases"
+      else
+        let seed = F.Rng.derive 42 i in
+        if Result.is_error (F.Oracle.check (F.Gen.generate ~seed)) then seed
+        else find (i + 1)
+    in
+    find 0
+  in
+  let still_fails c = Result.is_error (F.Oracle.check c) in
+  let shrunk =
+    F.Shrink.shrink ~still_fails (F.Gen.generate ~seed:buggy_seed)
+  in
+  Alcotest.(check bool) "shrunk case still fails" true (still_fails shrunk);
+  let n = F.Gen.instr_count shrunk in
+  Alcotest.(check bool)
+    (Printf.sprintf "minimal reproducer is small (%d instructions)" n)
+    true (n <= 20);
+  (* disarmed, the very same case must pass: the failure is the injected
+     off-by-one, not a real divergence *)
+  with_env "T1000_FAULT_INJECT" "" (fun () ->
+      Alcotest.(check bool) "disarmed reproducer passes" true
+        (Result.is_ok (F.Oracle.check shrunk)))
+
+(* ---- chaos pool: retries make a stormy run equal a calm one ---- *)
+
+let test_chaos_pool_identical () =
+  let xs = List.init 300 Fun.id in
+  let f i = i * 7 in
+  let calm = Pool.parallel_map_result ~njobs:4 f xs in
+  Alcotest.(check bool) "calm run all Ok" true
+    (List.for_all Result.is_ok calm);
+  with_env "T1000_CHAOS" "0.4" @@ fun () ->
+  with_env "T1000_CHAOS_SEED" "9" @@ fun () ->
+  let injected0, killed0 = Pool.chaos_events () in
+  let stormy = Pool.parallel_map_result ~njobs:4 f xs in
+  let injected1, killed1 = Pool.chaos_events () in
+  Alcotest.(check bool) "chaos injected faults" true (injected1 > injected0);
+  Alcotest.(check bool) "chaos killed at least one worker" true
+    (killed1 > killed0);
+  Alcotest.(check bool) "stormy results identical to calm" true
+    (stormy = calm);
+  (* the sequential path must agree with the pool under the same seed *)
+  let seq = Pool.parallel_map_result ~njobs:1 f xs in
+  Alcotest.(check bool) "sequential chaos identical too" true (seq = calm)
+
+let test_chaos_retries_exhausted () =
+  let xs = List.init 50 Fun.id in
+  with_env "T1000_CHAOS" "0.5" @@ fun () ->
+  with_env "T1000_CHAOS_SEED" "3" @@ fun () ->
+  let rs = Pool.parallel_map_result ~njobs:2 ~retries:0 (fun i -> i) xs in
+  Alcotest.(check bool) "with retries disabled some injections surface" true
+    (List.exists
+       (function Error (Fault.Injected _) -> true | _ -> false)
+       rs);
+  Alcotest.(check bool) "but non-injected tasks still succeed" true
+    (List.exists Result.is_ok rs)
+
+let test_on_result_crash_isolated () =
+  let xs = List.init 100 Fun.id in
+  let run njobs =
+    Pool.parallel_map_result ~njobs
+      ~on_result:(fun i _ -> if i = 5 then failwith "journal disk died")
+      (fun i -> i)
+      xs
+  in
+  List.iter
+    (fun njobs ->
+      let rs = run njobs in
+      Alcotest.(check int)
+        (Printf.sprintf "njobs=%d: every element completes" njobs)
+        100 (List.length rs);
+      List.iteri
+        (fun i r ->
+          if i = 5 then
+            match r with
+            | Error (Fault.Crashed { exn; _ }) ->
+                Alcotest.(check bool) "crash names on_result" true
+                  (String.length exn >= 10
+                  && String.sub exn 0 10 = "on_result:")
+            | _ -> Alcotest.fail "element 5 should carry the on_result crash"
+          else
+            Alcotest.(check bool)
+              (Printf.sprintf "njobs=%d: element %d unaffected" njobs i)
+              true
+              (r = Ok i))
+        rs)
+    [ 4; 1 ]
+
+let test_chaos_env_validation () =
+  let rejects var v read =
+    with_env var v (fun () ->
+        match read () with
+        | _ -> false
+        | exception Fault.Error (Fault.Invalid_config _) -> true)
+  in
+  Alcotest.(check bool) "T1000_CHAOS garbage rejected" true
+    (rejects "T1000_CHAOS" "banana" Pool.env_chaos);
+  Alcotest.(check bool) "T1000_CHAOS out of range rejected" true
+    (rejects "T1000_CHAOS" "1.5" Pool.env_chaos);
+  Alcotest.(check bool) "T1000_CHAOS valid accepted" true
+    (with_env "T1000_CHAOS" "0.3" (fun () -> Pool.env_chaos () = 0.3));
+  Alcotest.(check bool) "T1000_CHAOS empty is off" true
+    (with_env "T1000_CHAOS" "" (fun () -> Pool.env_chaos () = 0.0));
+  Alcotest.(check bool) "T1000_CHAOS_SEED garbage rejected" true
+    (rejects "T1000_CHAOS_SEED" "x" Pool.env_chaos_seed);
+  Alcotest.(check bool) "T1000_RETRIES negative rejected" true
+    (rejects "T1000_RETRIES" "-1" Pool.env_retries);
+  Alcotest.(check bool) "T1000_RETRIES valid accepted" true
+    (with_env "T1000_RETRIES" "3" (fun () -> Pool.env_retries () = Some 3))
+
+(* ---- corruption drills and the end-to-end chaos soak ---- *)
+
+let test_corruption_drills () =
+  match F.Fuzz.corruption_drills ~seed:5 ~rounds:20 () with
+  | [] -> ()
+  | errs -> Alcotest.failf "drill failures:\n%s" (String.concat "\n" errs)
+
+let test_chaos_soak () =
+  (* a chaotic sweep (injections + worker kills) must lose zero rows and
+     reproduce the calm rows exactly — the ISSUE's headline property *)
+  match F.Fuzz.chaos_soak ~p:0.2 ~seed:11 () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
 let () =
   Alcotest.run "t1000_fuzz"
     [
@@ -319,4 +501,33 @@ let () =
           ] );
       ( "corpus",
         [ Alcotest.test_case "folding coverage" `Quick test_corpus_folds ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic per seed" `Quick
+            test_gen_deterministic;
+          Alcotest.test_case "halts by construction" `Quick test_gen_halts;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "clean corpus" `Slow test_oracle_clean;
+          Alcotest.test_case "armed bug caught and shrunk" `Slow
+            test_oracle_catches_armed_bug;
+        ] );
+      ( "chaos-pool",
+        [
+          Alcotest.test_case "stormy equals calm" `Quick
+            test_chaos_pool_identical;
+          Alcotest.test_case "retries exhausted surface" `Quick
+            test_chaos_retries_exhausted;
+          Alcotest.test_case "on_result crash isolated" `Quick
+            test_on_result_crash_isolated;
+          Alcotest.test_case "env validation" `Quick test_chaos_env_validation;
+        ] );
+      ( "drills",
+        [
+          Alcotest.test_case "checkpoint corruption drills" `Quick
+            test_corruption_drills;
+          Alcotest.test_case "chaos soak byte-identical" `Slow
+            test_chaos_soak;
+        ] );
     ]
