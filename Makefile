@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke fuzz speed ci clean
+.PHONY: all build test fmt smoke fuzz speed trace ci clean
 
 all: build
 
@@ -34,6 +34,13 @@ fuzz:
 # and ablation; writes BENCH_engine.json.
 speed:
 	dune exec bench/main.exe -- speed
+
+# Traced Figure 2 on a reduced suite: writes trace.json (load it in
+# Perfetto or chrome://tracing) and validates it.
+trace:
+	T1000_WORKLOADS=unepic,g721_dec dune exec bin/t1000_cli.exe -- \
+	  experiment f2 --trace trace.json
+	dune exec bin/t1000_cli.exe -- trace-check trace.json
 
 ci:
 	./ci.sh

@@ -221,8 +221,26 @@ let speed_artifacts : (string * (Experiment.ctx -> unit)) list =
     ("a8", fun c -> ignore (Experiment.prefetch_sweep c));
   ]
 
+(* Per-leg phase breakdown from the Obs accumulators Runner and
+   Experiment feed ("<phase>.seconds" + "<phase>.calls"); time_suite
+   resets the metrics first, so the snapshot covers that leg alone. *)
+let leg_phases () =
+  let s = Obs.Metrics.snapshot () in
+  List.filter_map
+    (fun (name, secs) ->
+      match Filename.chop_suffix_opt ~suffix:".seconds" name with
+      | None -> None
+      | Some base ->
+          let calls =
+            Option.value ~default:0
+              (List.assoc_opt (base ^ ".calls") s.Obs.Metrics.counters)
+          in
+          Some (base, secs, calls))
+    s.Obs.Metrics.fcounters
+
 let time_suite ~njobs =
   Unix.putenv "T1000_NJOBS" (string_of_int njobs);
+  Obs.Metrics.reset ();
   let ctx = Experiment.create_ctx ~workloads:(suite_workloads ()) () in
   let timings =
     List.map
@@ -234,15 +252,25 @@ let time_suite ~njobs =
         (name, dt))
       speed_artifacts
   in
-  (List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timings, timings)
+  ( List.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 timings,
+    timings,
+    leg_phases () )
 
-let json_of_leg oc ~njobs ~total timings =
+let json_of_leg oc ~njobs ~total timings phases =
   Printf.fprintf oc
-    "{ \"njobs\": %d, \"total_s\": %.3f, \"artifacts\": { %s } }" njobs total
+    "{ \"njobs\": %d, \"total_s\": %.3f, \"artifacts\": { %s }, \"phases\": \
+     { %s } }"
+    njobs total
     (String.concat ", "
        (List.map
           (fun (name, dt) -> Printf.sprintf "\"%s\": %.3f" name dt)
           timings))
+    (String.concat ", "
+       (List.map
+          (fun (name, secs, calls) ->
+            Printf.sprintf "\"%s\": { \"seconds\": %.3f, \"calls\": %d }" name
+              secs calls)
+          phases))
 
 let run_speed () =
   banner "SPEED: experiment-engine wall clock (sequential vs parallel)";
@@ -251,10 +279,19 @@ let run_speed () =
     match saved_njobs with
     | Some s when (try int_of_string (String.trim s) > 1 with _ -> false) ->
         int_of_string (String.trim s)
-    | Some _ | None -> max 4 (Domain.recommended_domain_count ())
+    | Some _ | None -> Domain.recommended_domain_count ()
   in
-  let seq_total, seq_timings = time_suite ~njobs:1 in
-  let par_total, par_timings = time_suite ~njobs:par_njobs in
+  let seq_total, seq_timings, seq_phases = time_suite ~njobs:1 in
+  (* On a single-core machine a "parallel" leg would just re-time the
+     sequential engine (or worse, pay domain overhead) and report a
+     bogus slowdown as "speedup"; skip it and record null instead. *)
+  let par =
+    if par_njobs <= 1 then begin
+      Format.printf "  (1 domain available: parallel leg skipped)@.";
+      None
+    end
+    else Some (time_suite ~njobs:par_njobs)
+  in
   (match saved_njobs with
   | Some s -> Unix.putenv "T1000_NJOBS" s
   | None -> Unix.putenv "T1000_NJOBS" "")
@@ -267,7 +304,12 @@ let run_speed () =
       o.T1000_fuzz.Fuzz.elapsed_s o.T1000_fuzz.Fuzz.cases_per_s;
     o
   in
-  let speedup = if par_total > 0.0 then seq_total /. par_total else 0.0 in
+  let parallel_speedup =
+    match par with
+    | Some (par_total, _, _) when par_total > 0.0 ->
+        Some (seq_total /. par_total)
+    | Some _ | None -> None
+  in
   let oc = open_out "BENCH_engine.json" in
   Printf.fprintf oc
     "{\n\
@@ -281,9 +323,12 @@ let run_speed () =
           (fun (w : T1000_workloads.Workload.t) ->
             Printf.sprintf "\"%s\"" w.T1000_workloads.Workload.name)
           (suite_workloads ())));
-  json_of_leg oc ~njobs:1 ~total:seq_total seq_timings;
+  json_of_leg oc ~njobs:1 ~total:seq_total seq_timings seq_phases;
   Printf.fprintf oc ",\n  \"parallel\": ";
-  json_of_leg oc ~njobs:par_njobs ~total:par_total par_timings;
+  (match par with
+  | None -> Printf.fprintf oc "null"
+  | Some (par_total, par_timings, par_phases) ->
+      json_of_leg oc ~njobs:par_njobs ~total:par_total par_timings par_phases);
   Printf.fprintf oc
     ",\n\
     \  \"fuzz\": { \"cases\": %d, \"seconds\": %.3f, \"cases_per_s\": %.1f, \
@@ -291,12 +336,19 @@ let run_speed () =
     fuzz.T1000_fuzz.Fuzz.cases fuzz.T1000_fuzz.Fuzz.elapsed_s
     fuzz.T1000_fuzz.Fuzz.cases_per_s
     (List.length fuzz.T1000_fuzz.Fuzz.failures);
-  Printf.fprintf oc ",\n  \"speedup\": %.3f\n}\n" speedup;
+  Printf.fprintf oc ",\n  \"parallel_speedup\": %s\n}\n"
+    (match parallel_speedup with
+    | None -> "null"
+    | Some s -> Printf.sprintf "%.3f" s);
   close_out oc;
-  Format.printf
-    "@.sequential %.2f s | parallel (njobs=%d) %.2f s | speedup %.2fx@.wrote \
-     BENCH_engine.json@."
-    seq_total par_njobs par_total speedup
+  (match (par, parallel_speedup) with
+  | Some (par_total, _, _), Some s ->
+      Format.printf
+        "@.sequential %.2f s | parallel (njobs=%d) %.2f s | speedup %.2fx@."
+        seq_total par_njobs par_total s
+  | _ ->
+      Format.printf "@.sequential %.2f s | parallel leg skipped@." seq_total);
+  Format.printf "wrote BENCH_engine.json@."
 
 let paper () =
   run_f2 ();

@@ -5,7 +5,9 @@
    t1000_cli profile WORKLOAD         hottest instructions + widths
    t1000_cli mine WORKLOAD [opts]     show the selected extended instrs
    t1000_cli run WORKLOAD [opts]      simulate and report speedup
-   t1000_cli experiment ID...         regenerate paper artifacts *)
+   t1000_cli experiment ID...         regenerate paper artifacts
+   t1000_cli stats WORKLOAD [opts]    run with telemetry on, dump metrics
+   t1000_cli trace-check FILE         validate a --trace output file *)
 
 open Cmdliner
 
@@ -33,6 +35,7 @@ let validate_env () =
     ignore (T1000.Pool.env_chaos ());
     ignore (T1000.Pool.env_chaos_seed ());
     ignore (T1000.Pool.env_retries ());
+    ignore (T1000.Fault.getenv_bool "T1000_METRICS");
     ignore (T1000.Checkpoint.default_dir_validated ())
   with
   | Invalid_argument msg ->
@@ -41,6 +44,28 @@ let validate_env () =
   | T1000.Fault.Error fault ->
       Format.eprintf "t1000_cli: %s@." (T1000.Fault.to_string fault);
       exit 2
+
+(* --trace FILE: switch the span tracer on and write the Chrome trace
+   at process exit.  Registered via at_exit, not Fun.protect, so the
+   trace still lands on the fault paths that call [exit 2]/[exit 3]. *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record span traces and write a Chrome trace-event JSON file \
+           (loadable in Perfetto or chrome://tracing) at exit.  Strictly \
+           observational: stdout is byte-identical with and without this \
+           flag.")
+
+let setup_trace = function
+  | None -> ()
+  | Some path ->
+      T1000.Obs.Tracer.set_enabled true;
+      at_exit (fun () ->
+          T1000.Obs.Tracer.write_chrome path;
+          Format.eprintf "t1000_cli: trace written to %s@." path)
 
 (* The suite the experiment engine runs on: all workloads, or the
    T1000_WORKLOADS comma-separated subset (same convention as bench). *)
@@ -273,8 +298,9 @@ let replay_cmd =
 (* ---- run ---- *)
 
 let run_cmd =
-  let run w method_ pfus penalty selfcheck =
+  let run w method_ pfus penalty selfcheck trace =
     with_faults @@ fun () ->
+    setup_trace trace;
     let selfcheck = selfcheck_opt selfcheck in
     let analysis = T1000.Runner.analyze w in
     let baseline =
@@ -294,7 +320,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate a workload and report the speedup.")
     Term.(
       const run $ workload_arg $ method_arg $ pfus_arg $ penalty_arg
-      $ selfcheck_arg)
+      $ selfcheck_arg $ trace_arg)
 
 (* ---- dot ---- *)
 
@@ -332,7 +358,8 @@ let dot_cmd =
 (* ---- experiment ---- *)
 
 let experiment_cmd =
-  let run jobs resume selfcheck ids =
+  let run jobs resume selfcheck trace ids =
+    setup_trace trace;
     (match jobs with
     | Some n when n < 1 ->
         Format.eprintf "t1000_cli: -j/--jobs must be >= 1, got %d@." n;
@@ -426,7 +453,68 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures.")
-    Term.(const run $ jobs $ resume $ selfcheck_arg $ ids)
+    Term.(const run $ jobs $ resume $ selfcheck_arg $ trace_arg $ ids)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run w method_ pfus penalty =
+    with_faults @@ fun () ->
+    T1000.Obs.Metrics.reset ();
+    T1000.Obs.Tracer.reset ();
+    T1000.Obs.Tracer.set_enabled true;
+    let analysis = T1000.Runner.analyze w in
+    let baseline =
+      T1000.Runner.run ~analysis w (T1000.Runner.setup T1000.Runner.Baseline)
+    in
+    let r =
+      T1000.Runner.run ~analysis w (setup_of method_ pfus penalty)
+    in
+    Format.printf "speedup: %.3f@.@." (T1000.Runner.speedup ~baseline r);
+    Format.printf "metrics:@.%a@." T1000.Obs.Metrics.pp
+      (T1000.Obs.Metrics.snapshot ());
+    Format.printf "spans:@.%a@." T1000.Obs.Tracer.pp_summary ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a workload (baseline, then the chosen method) with telemetry \
+          on, and dump the merged metric snapshot and span summary.")
+    Term.(const run $ workload_arg $ method_arg $ pfus_arg $ penalty_arg)
+
+(* ---- trace-check ---- *)
+
+let trace_check_cmd =
+  let run path cats =
+    let s = In_channel.with_open_bin path In_channel.input_all in
+    match T1000.Obs.Tracer.validate_chrome ~require_cats:cats s with
+    | Ok n -> Format.printf "%s: valid Chrome trace, %d event(s)@." path n
+    | Error msg ->
+        Format.eprintf "t1000_cli: %s: %s@." path msg;
+        exit 1
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Chrome trace-event JSON file.")
+  in
+  let cats =
+    Arg.(
+      value
+      & opt (list string) [ "sim"; "pool"; "experiment" ]
+      & info [ "require" ] ~docv:"CATS"
+          ~doc:
+            "Comma-separated span categories the trace must contain at \
+             least one event of.")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace-event file written by $(b,--trace): \
+          well-formed JSON, complete-event shape, required categories \
+          present.")
+    Term.(const run $ path $ cats)
 
 (* ---- fuzz ---- *)
 
@@ -540,10 +628,17 @@ let () =
     "T1000: configurable extended instructions on a superscalar core"
   in
   validate_env ();
+  (* T1000_METRICS=1: dump the merged metric snapshot to stderr when the
+     process ends, whatever command ran and however it exits. *)
+  if T1000.Fault.getenv_bool "T1000_METRICS" then
+    at_exit (fun () ->
+        Format.eprintf "t1000_cli: metrics:@.%a@." T1000.Obs.Metrics.pp
+          (T1000.Obs.Metrics.snapshot ()));
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "t1000_cli" ~doc)
           [
             list_cmd; disasm_cmd; profile_cmd; mine_cmd; replay_cmd;
-            run_cmd; dot_cmd; experiment_cmd; fuzz_cmd;
+            run_cmd; dot_cmd; experiment_cmd; stats_cmd; trace_check_cmd;
+            fuzz_cmd;
           ]))

@@ -113,6 +113,29 @@ diff "$CLEAN_OUT" "$CHAOS_OUT" || {
   exit 1
 }
 
+echo "== obs: traced sweep is byte-identical to untraced, trace validates =="
+# Telemetry is contractually observational: the same experiment with
+# --trace must produce byte-identical stdout, and the written trace
+# must be a well-formed Chrome trace carrying spans from the simulator,
+# the worker pool and the experiment engine.
+PLAIN_OUT="$CKPT_DIR/obs_plain.out"
+TRACED_OUT="$CKPT_DIR/obs_traced.out"
+TRACE_JSON="$CKPT_DIR/obs_trace.json"
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 \
+  timeout 900 dune exec bin/t1000_cli.exe -- experiment f2 > "$PLAIN_OUT"
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 T1000_METRICS=1 \
+  timeout 900 dune exec bin/t1000_cli.exe -- \
+  experiment f2 --trace "$TRACE_JSON" > "$TRACED_OUT" 2> "$CKPT_DIR/obs_traced.err"
+diff "$PLAIN_OUT" "$TRACED_OUT" || {
+  echo "traced sweep stdout differs from the untraced run" >&2
+  exit 1
+}
+timeout 900 dune exec bin/t1000_cli.exe -- trace-check "$TRACE_JSON"
+grep -q "pool.tasks" "$CKPT_DIR/obs_traced.err" || {
+  echo "T1000_METRICS=1 did not dump a metric snapshot to stderr" >&2
+  exit 1
+}
+
 # Long soak (opt-in): many more cases, drills and an in-process chaos
 # sweep.  Enable with T1000_SOAK=1.
 if [ "${T1000_SOAK:-0}" = "1" ]; then

@@ -149,4 +149,8 @@ let find t ~key =
   Mutex.lock t.mutex;
   let p = Hashtbl.find_opt t.tbl key in
   Mutex.unlock t.mutex;
+  T1000_obs.Metrics.incr
+    (match p with
+    | Some _ -> "checkpoint.hits"
+    | None -> "checkpoint.misses");
   Option.map (fun payload -> Marshal.from_string payload 0) p

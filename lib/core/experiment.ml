@@ -32,9 +32,9 @@ type ctx = {
 let create_ctx ?(workloads = Registry.all) () =
   {
     suite = workloads;
-    analyses = Memo.create 8;
-    baselines = Memo.create 8;
-    tables = Memo.create 32;
+    analyses = Memo.create ~name:"analysis" 8;
+    baselines = Memo.create ~name:"baseline" 8;
+    tables = Memo.create ~name:"tables" 32;
   }
 
 let workloads ctx = ctx.suite
@@ -119,6 +119,10 @@ let map_partial ?journal ~id ~label ctx points eval =
   match points with
   | [] -> (List.map (fun w -> (w, [])) ctx.suite, [])
   | _ ->
+      T1000_obs.Tracer.with_span ~cat:"experiment" ("experiment." ^ id)
+      @@ fun () ->
+      T1000_obs.Metrics.time ("experiment." ^ id)
+      @@ fun () ->
       let inject = fault_inject_target () in
       let tasks =
         List.concat_map (fun w -> List.map (fun p -> (w, p)) points) ctx.suite

@@ -6,10 +6,20 @@ type ('k, 'v) t = {
   mutex : Mutex.t;
   cond : Condition.t;
   tbl : ('k, 'v cell) Hashtbl.t;
+  hits : string option;  (* Obs.Metrics counter names, when labelled *)
+  misses : string option;
 }
 
-let create n =
-  { mutex = Mutex.create (); cond = Condition.create (); tbl = Hashtbl.create n }
+let create ?name n =
+  {
+    mutex = Mutex.create ();
+    cond = Condition.create ();
+    tbl = Hashtbl.create n;
+    hits = Option.map (fun n -> "memo." ^ n ^ ".hits") name;
+    misses = Option.map (fun n -> "memo." ^ n ^ ".misses") name;
+  }
+
+let count = Option.iter (fun name -> T1000_obs.Metrics.incr name)
 
 let find_or_compute t k f =
   Mutex.lock t.mutex;
@@ -27,8 +37,11 @@ let find_or_compute t k f =
         `Compute
   in
   match claim () with
-  | `Hit v -> v
+  | `Hit v ->
+      count t.hits;
+      v
   | `Compute -> (
+      count t.misses;
       match f () with
       | v ->
           Mutex.lock t.mutex;

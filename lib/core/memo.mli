@@ -9,8 +9,11 @@
 
 type ('k, 'v) t
 
-val create : int -> ('k, 'v) t
-(** [create n] is an empty table with initial capacity [n]. *)
+val create : ?name:string -> int -> ('k, 'v) t
+(** [create n] is an empty table with initial capacity [n].  With
+    [?name], every lookup is counted into the [Obs.Metrics] counters
+    [memo.<name>.hits] / [memo.<name>.misses] (a waiter that shares a
+    pending computation counts as a hit). *)
 
 val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 (** [find_or_compute t k f] returns the cached value for [k], or runs

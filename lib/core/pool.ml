@@ -1,3 +1,6 @@
+module Metrics = T1000_obs.Metrics
+module Tracer = T1000_obs.Tracer
+
 let default_njobs () =
   match Sys.getenv_opt "T1000_NJOBS" with
   | None -> Domain.recommended_domain_count ()
@@ -13,6 +16,7 @@ let parallel_map ?njobs f xs =
   let njobs =
     match njobs with Some n -> max 1 n | None -> default_njobs ()
   in
+  Tracer.with_span ~cat:"pool" "pool.map" @@ fun () ->
   match xs with
   | [] -> []
   | xs when njobs = 1 -> List.map f xs
@@ -139,11 +143,13 @@ let chaos_config () =
   let p = env_chaos () in
   if p > 0.0 then Some { p; seed = env_chaos_seed () } else None
 
-(* Cumulative observability counters (injected faults, worker kills),
-   so tests and the CLI can assert chaos actually happened. *)
-let injected_total = Atomic.make 0
-let killed_total = Atomic.make 0
-let chaos_events () = (Atomic.get injected_total, Atomic.get killed_total)
+(* Cumulative chaos-event counters now live in [Obs.Metrics] (sharded
+   per domain, merged on read) alongside the rest of the pool
+   telemetry; this facade keeps the historical accessor so tests and
+   the fault report read the same values as before. *)
+let injected_counter = "pool.chaos.injected"
+let killed_counter = "pool.chaos.killed"
+let chaos_events () = (Metrics.get injected_counter, Metrics.get killed_counter)
 
 (* Capped exponential backoff before retrying a transient fault: 1 ms,
    2 ms, 4 ms, ... capped at 50 ms, so even a long retry chain costs
@@ -168,6 +174,10 @@ let parallel_map_result ?njobs ?retries ?on_result f xs =
         | Some r -> r
         | None -> if chaos = None then 0 else 10)
   in
+  Tracer.with_span ~cat:"pool" "pool.map" @@ fun () ->
+  let t_start = Unix.gettimeofday () in
+  Metrics.incr "pool.maps";
+  Metrics.set_gauge "pool.njobs" (float_of_int njobs);
   let inject_here ~index ~attempt =
     match chaos with
     | None -> false
@@ -186,17 +196,32 @@ let parallel_map_result ?njobs ?retries ?on_result f xs =
         let backtrace = Printexc.get_backtrace () in
         Error (Fault.of_exn ~backtrace e)
   in
+  (* Task-level telemetry: queue wait is measured from map start to the
+     task's first evaluation attempt; busy time covers every attempt.
+     Both are per-domain Metrics writes, so the hot path stays
+     lock-free. *)
   let attempt_task ~index ~attempt x =
-    if inject_here ~index ~attempt then begin
-      Atomic.incr injected_total;
-      Error
-        (Fault.Injected
-           (Printf.sprintf "chaos (T1000_CHAOS): task %d attempt %d" index
-              attempt))
-    end
-    else wrap x
+    if attempt = 0 then
+      Metrics.observe "pool.task_wait_ms"
+        ((Unix.gettimeofday () -. t_start) *. 1e3)
+    else Metrics.incr "pool.retries";
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Tracer.with_span ~cat:"pool" "pool.task" @@ fun () ->
+      if inject_here ~index ~attempt then begin
+        Metrics.incr injected_counter;
+        Error
+          (Fault.Injected
+             (Printf.sprintf "chaos (T1000_CHAOS): task %d attempt %d" index
+                attempt))
+      end
+      else wrap x
+    in
+    Metrics.add_float "pool.busy_s" (Unix.gettimeofday () -. t0);
+    r
   in
-  match xs with
+  let result =
+    match xs with
   | [] -> []
   | xs when njobs = 1 ->
       (* Sequential path: same per-task attempt sequence (and therefore
@@ -212,6 +237,7 @@ let parallel_map_result ?njobs ?retries ?on_result f xs =
             | r -> r
           in
           let r = go 0 in
+          Metrics.incr "pool.tasks";
           match on_result with
           | Some g when not !notify_dead -> (
               try
@@ -267,7 +293,7 @@ let parallel_map_result ?njobs ?retries ?on_result f xs =
                is not lost — the replacement (or any surviving worker)
                picks it up. *)
             incr kills;
-            Atomic.incr killed_total;
+            Metrics.incr killed_counter;
             Queue.add (i, attempt, pops + 1) queue;
             spawned := Domain.spawn worker :: !spawned;
             Condition.signal cv;
@@ -304,6 +330,7 @@ let parallel_map_result ?njobs ?retries ?on_result f xs =
                              }))
                   | _ -> r
                 in
+                Metrics.incr "pool.tasks";
                 results.(i) <- Some r;
                 decr remaining;
                 if !remaining = 0 then Condition.broadcast cv;
@@ -333,3 +360,6 @@ let parallel_map_result ?njobs ?retries ?on_result f xs =
         (Array.map
            (function Some r -> r | None -> assert false)
            results)
+  in
+  Metrics.add_float "pool.wall_s" (Unix.gettimeofday () -. t_start);
+  result

@@ -99,4 +99,13 @@ val env_retries : unit -> int option
 val chaos_events : unit -> int * int
 (** Cumulative ([injected], [killed]) chaos-event counters across all
     {!parallel_map_result} calls in this process; tests subtract
-    before/after snapshots to assert chaos actually perturbed a run. *)
+    before/after snapshots to assert chaos actually perturbed a run.
+
+    The counters are backed by the [Obs.Metrics] counters
+    [pool.chaos.injected] and [pool.chaos.killed] — this accessor is a
+    facade over the merged metric view.  The pool also records
+    [pool.maps] / [pool.tasks] / [pool.retries] counters, the
+    [pool.task_wait_ms] queue-wait histogram and the [pool.busy_s] /
+    [pool.wall_s] accumulators (worker utilization is
+    [busy / (wall x njobs)]), and emits [pool.map] / [pool.task] spans
+    when tracing is enabled. *)

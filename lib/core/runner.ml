@@ -70,6 +70,7 @@ type analysis = {
 }
 
 let analyze (w : Workload.t) =
+  T1000_obs.Metrics.time "phase.analyze" @@ fun () ->
   let profile =
     Profile.collect ~init:(fun mem regs -> w.Workload.init mem regs)
       w.Workload.program
@@ -99,6 +100,7 @@ let functional_output (w : Workload.t) table program =
   Workload.output w mem
 
 let verify_outputs (w : Workload.t) table rewritten =
+  T1000_obs.Metrics.time "phase.verify" @@ fun () ->
   let reference = functional_output w Extinstr.empty w.Workload.program in
   let got = functional_output w table rewritten in
   if not (String.equal reference got) then
@@ -111,6 +113,7 @@ let verify_outputs (w : Workload.t) table rewritten =
 
 let select_table s analysis =
   validate s;
+  T1000_obs.Metrics.time "phase.select" @@ fun () ->
   match s.method_ with
   | Baseline -> Extinstr.empty
   | Greedy ->
@@ -188,6 +191,7 @@ let run ?analysis ?table (w : Workload.t) s =
           T1000_hwcost.Lut.latency_estimate (Extinstr.get table eid).Extinstr.dfg
   in
   let stats =
+    T1000_obs.Metrics.time "phase.sim" @@ fun () ->
     Sim.run ~mconfig:machine ~ext_latency ~ext_eval:(Extinstr.eval table)
       ~selfcheck:s.selfcheck
       ~init:(fun mem regs -> w.Workload.init mem regs)

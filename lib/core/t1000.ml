@@ -12,7 +12,9 @@
     - {!Fault} — the typed fault taxonomy the fault-isolated drivers
       classify per-point failures into;
     - {!Checkpoint} — the checkpoint/resume journal behind the
-      [*_result] drivers' [?journal] argument. *)
+      [*_result] drivers' [?journal] argument;
+    - {!Obs} — the deterministic telemetry subsystem (metrics, spans,
+      Chrome-trace export); strictly observational, never on stdout. *)
 
 module Runner = Runner
 module Experiment = Experiment
@@ -21,3 +23,4 @@ module Pool = Pool
 module Memo = Memo
 module Fault = Fault
 module Checkpoint = Checkpoint
+module Obs = T1000_obs

@@ -1,0 +1,30 @@
+(** Minimal JSON tree, printer and parser.
+
+    The telemetry subsystem must emit (Chrome trace-event files, metric
+    dumps) and validate (the [trace-check] CLI command, the test suite)
+    JSON without pulling an external dependency into every library that
+    links [t1000_obs].  This module is deliberately small: a value
+    tree, a deterministic printer, and a strict recursive-descent
+    parser — enough for trace files, not a general-purpose codec. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Strings are escaped per RFC 8259; integral
+    numbers print without a fractional part; non-finite numbers (which
+    JSON cannot represent) degrade to [0]. *)
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing whitespace
+    allowed, trailing garbage rejected).  [Error msg] carries a
+    character offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to [k], if any; [None] on
+    non-objects. *)

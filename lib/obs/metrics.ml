@@ -1,0 +1,295 @@
+(* Per-domain shards: every recording op touches only the calling
+   domain's hashtables, so there is no locking on the hot paths.  The
+   global registry (mutex-protected, touched once per domain lifetime)
+   exists solely so [snapshot] can find every shard — including those
+   of worker domains that have since been joined, whose totals must
+   survive them. *)
+
+let n_buckets = 64
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+type shard = {
+  counters : (string, int ref) Hashtbl.t;
+  fcounters : (string, float ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let registry : shard list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let shard_key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          counters = Hashtbl.create 32;
+          fcounters = Hashtbl.create 16;
+          gauges = Hashtbl.create 8;
+          hists = Hashtbl.create 8;
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := s :: !registry;
+      Mutex.unlock registry_mutex;
+      s)
+
+let shard () = Domain.DLS.get shard_key
+
+let cell tbl name init =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+      let c = init () in
+      Hashtbl.add tbl name c;
+      c
+
+let incr ?(by = 1) name =
+  let r = cell (shard ()).counters name (fun () -> ref 0) in
+  r := !r + by
+
+let add_float name v =
+  let r = cell (shard ()).fcounters name (fun () -> ref 0.0) in
+  r := !r +. v
+
+let set_gauge name v =
+  let r = cell (shard ()).gauges name (fun () -> ref neg_infinity) in
+  r := v
+
+let bucket_of v =
+  (* The negated comparison also routes NaN to bucket 0. *)
+  if not (v >= 1.0) then 0
+  else
+    let _, e = Float.frexp v in
+    min (n_buckets - 1) e
+
+let bucket_lo i = if i = 0 then neg_infinity else Float.ldexp 1.0 (i - 1)
+let bucket_hi i = Float.ldexp 1.0 i
+
+let observe name v =
+  let h =
+    cell (shard ()).hists name (fun () ->
+        {
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+          h_buckets = Array.make n_buckets 0;
+        })
+  in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect f ~finally:(fun () ->
+      add_float (name ^ ".seconds") (Unix.gettimeofday () -. t0);
+      incr (name ^ ".calls"))
+
+(* -------- merged read side -------- *)
+
+type histogram = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (int * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  fcounters : (string * float) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram) list;
+}
+
+let shards () =
+  Mutex.lock registry_mutex;
+  let ss = !registry in
+  Mutex.unlock registry_mutex;
+  ss
+
+let sorted_bindings fold tbls =
+  let acc = Hashtbl.create 32 in
+  List.iter (fun tbl -> Hashtbl.iter (fold acc) tbl) tbls;
+  Hashtbl.fold (fun k v l -> (k, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let snapshot () =
+  let ss = shards () in
+  let counters =
+    sorted_bindings
+      (fun acc name r ->
+        Hashtbl.replace acc name
+          (!r + Option.value ~default:0 (Hashtbl.find_opt acc name)))
+      (List.map (fun (s : shard) -> s.counters) ss)
+  in
+  let fcounters =
+    sorted_bindings
+      (fun acc name r ->
+        Hashtbl.replace acc name
+          (!r +. Option.value ~default:0.0 (Hashtbl.find_opt acc name)))
+      (List.map (fun (s : shard) -> s.fcounters) ss)
+  in
+  let gauges =
+    sorted_bindings
+      (fun acc name r ->
+        Hashtbl.replace acc name
+          (Float.max !r
+             (Option.value ~default:neg_infinity (Hashtbl.find_opt acc name))))
+      (List.map (fun (s : shard) -> s.gauges) ss)
+  in
+  let histograms =
+    let acc : (string, hist) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun s ->
+        Hashtbl.iter
+          (fun name (h : hist) ->
+            match Hashtbl.find_opt acc name with
+            | None ->
+                Hashtbl.add acc name
+                  {
+                    h_count = h.h_count;
+                    h_sum = h.h_sum;
+                    h_min = h.h_min;
+                    h_max = h.h_max;
+                    h_buckets = Array.copy h.h_buckets;
+                  }
+            | Some m ->
+                m.h_count <- m.h_count + h.h_count;
+                m.h_sum <- m.h_sum +. h.h_sum;
+                if h.h_min < m.h_min then m.h_min <- h.h_min;
+                if h.h_max > m.h_max then m.h_max <- h.h_max;
+                Array.iteri
+                  (fun i c -> m.h_buckets.(i) <- m.h_buckets.(i) + c)
+                  h.h_buckets)
+          s.hists)
+      ss;
+    Hashtbl.fold
+      (fun name (h : hist) l ->
+        let buckets = ref [] in
+        for i = n_buckets - 1 downto 0 do
+          if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+        done;
+        ( name,
+          {
+            count = h.h_count;
+            sum = h.h_sum;
+            min = h.h_min;
+            max = h.h_max;
+            buckets = !buckets;
+          } )
+        :: l)
+      acc []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { counters; fcounters; gauges; histograms }
+
+let get name =
+  List.fold_left
+    (fun acc (s : shard) ->
+      match Hashtbl.find_opt s.counters name with
+      | Some r -> acc + !r
+      | None -> acc)
+    0 (shards ())
+
+let get_float name =
+  List.fold_left
+    (fun acc (s : shard) ->
+      match Hashtbl.find_opt s.fcounters name with
+      | Some r -> acc +. !r
+      | None -> acc)
+    0.0 (shards ())
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun (s : shard) ->
+      Hashtbl.reset s.counters;
+      Hashtbl.reset s.fcounters;
+      Hashtbl.reset s.gauges;
+      Hashtbl.reset s.hists)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  if s.counters <> [] then begin
+    Format.fprintf ppf "counters:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %d@," name v)
+      s.counters
+  end;
+  if s.fcounters <> [] then begin
+    Format.fprintf ppf "accumulators:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %.6f@," name v)
+      s.fcounters
+  end;
+  if s.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@,";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-40s %g@," name v)
+      s.gauges
+  end;
+  if s.histograms <> [] then begin
+    Format.fprintf ppf "histograms:@,";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "  %s: count %d, sum %g, min %g, max %g, mean %g@,"
+          name h.count h.sum
+          (if h.count = 0 then 0.0 else h.min)
+          (if h.count = 0 then 0.0 else h.max)
+          (if h.count = 0 then 0.0 else h.sum /. float_of_int h.count);
+        List.iter
+          (fun (i, c) ->
+            Format.fprintf ppf "    [%g, %g)%-20s %d@," (bucket_lo i)
+              (bucket_hi i) "" c)
+          h.buckets)
+      s.histograms
+  end;
+  Format.fprintf ppf "@]"
+
+let to_json s =
+  let hist_json (h : histogram) =
+    Json.Obj
+      [
+        ("count", Json.Num (float_of_int h.count));
+        ("sum", Json.Num h.sum);
+        ("min", Json.Num (if h.count = 0 then 0.0 else h.min));
+        ("max", Json.Num (if h.count = 0 then 0.0 else h.max));
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (i, c) ->
+                 Json.Obj
+                   [
+                     ("lo", Json.Num (bucket_lo i));
+                     ("hi", Json.Num (bucket_hi i));
+                     ("count", Json.Num (float_of_int c));
+                   ])
+               h.buckets) );
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) s.counters)
+      );
+      ( "accumulators",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.fcounters) );
+      ("gauges", Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist_json h)) s.histograms) );
+    ]

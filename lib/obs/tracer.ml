@@ -1,0 +1,194 @@
+(* Per-domain span buffers, same sharding discipline as Metrics: the
+   recording path touches only domain-local state, the merge happens at
+   export, after the worker domains have been joined. *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;
+  ev_dur_us : float;
+  ev_tid : int;
+}
+
+type buf = {
+  tid : int;
+  mutable last_us : float;  (* monotonising floor for this domain *)
+  mutable recorded : event list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* All timestamps are relative to process start, so traces start near
+   t=0 regardless of wall-clock epoch. *)
+let epoch = Unix.gettimeofday ()
+
+let registry : buf list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          last_us = 0.0;
+          recorded = [];
+        }
+      in
+      Mutex.lock registry_mutex;
+      registry := b :: !registry;
+      Mutex.unlock registry_mutex;
+      b)
+
+let buf () = Domain.DLS.get buf_key
+
+(* Strictly increasing per domain (ties bumped by 1 ns), so a parent
+   span always starts strictly before its children and the sorted event
+   list is deterministic even when two reads land in the same clock
+   tick. *)
+let now_us b =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  let t = if t > b.last_us then t else b.last_us +. 0.001 in
+  b.last_us <- t;
+  t
+
+let with_span ?(cat = "") name f =
+  if not (enabled ()) then f ()
+  else begin
+    let b = buf () in
+    let t0 = now_us b in
+    Fun.protect f ~finally:(fun () ->
+        let t1 = now_us b in
+        b.recorded <-
+          {
+            ev_name = name;
+            ev_cat = cat;
+            ev_ts_us = t0;
+            ev_dur_us = t1 -. t0;
+            ev_tid = b.tid;
+          }
+          :: b.recorded)
+  end
+
+let bufs () =
+  Mutex.lock registry_mutex;
+  let bs = !registry in
+  Mutex.unlock registry_mutex;
+  bs
+
+let events () =
+  List.concat_map (fun b -> b.recorded) (bufs ())
+  |> List.sort (fun a b ->
+         compare
+           (a.ev_ts_us, -.a.ev_dur_us, a.ev_tid, a.ev_name)
+           (b.ev_ts_us, -.b.ev_dur_us, b.ev_tid, b.ev_name))
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter (fun b -> b.recorded <- []) !registry;
+  Mutex.unlock registry_mutex
+
+let to_chrome_json () =
+  let ev e =
+    Json.Obj
+      [
+        ("name", Json.Str e.ev_name);
+        ("cat", Json.Str (if e.ev_cat = "" then "default" else e.ev_cat));
+        ("ph", Json.Str "X");
+        ("ts", Json.Num e.ev_ts_us);
+        ("dur", Json.Num e.ev_dur_us);
+        ("pid", Json.Num 1.0);
+        ("tid", Json.Num (float_of_int e.ev_tid));
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map ev (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+    ]
+
+let write_chrome path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_chrome_json ()));
+      output_char oc '\n')
+
+let summary () =
+  let acc : (string * string, (int * float) ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun e ->
+      let key = (e.ev_cat, e.ev_name) in
+      match Hashtbl.find_opt acc key with
+      | Some r ->
+          let n, us = !r in
+          r := (n + 1, us +. e.ev_dur_us)
+      | None -> Hashtbl.add acc key (ref (1, e.ev_dur_us)))
+    (events ());
+  Hashtbl.fold (fun k r l -> (k, !r) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_summary ppf () =
+  Format.fprintf ppf "@[<v>spans:@,";
+  List.iter
+    (fun ((cat, name), (n, us)) ->
+      Format.fprintf ppf "  %-12s %-32s %6d span(s) %12.3f ms@,"
+        (if cat = "" then "default" else cat)
+        name n (us /. 1e3))
+    (summary ());
+  Format.fprintf ppf "@]"
+
+let validate_chrome ?(require_cats = []) s =
+  let ( let* ) r f = Result.bind r f in
+  let* doc = Json.of_string s in
+  let* evs =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> Ok evs
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents array"
+  in
+  let check_event i e =
+    let str k =
+      match Json.member k e with
+      | Some (Json.Str s) -> Ok s
+      | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+    in
+    let num k =
+      match Json.member k e with
+      | Some (Json.Num v) when Float.is_finite v -> Ok v
+      | _ -> Error (Printf.sprintf "event %d: missing finite number %S" i k)
+    in
+    let* _name = str "name" in
+    let* cat = str "cat" in
+    let* ph = str "ph" in
+    let* _ts = num "ts" in
+    let* dur = num "dur" in
+    let* _tid = num "tid" in
+    if ph <> "X" then
+      Error (Printf.sprintf "event %d: expected ph \"X\", got %S" i ph)
+    else if dur < 0.0 then Error (Printf.sprintf "event %d: negative dur" i)
+    else Ok cat
+  in
+  let* cats =
+    List.fold_left
+      (fun acc (i, e) ->
+        let* cats = acc in
+        let* cat = check_event i e in
+        Ok (cat :: cats))
+      (Ok [])
+      (List.mapi (fun i e -> (i, e)) evs)
+  in
+  let* () =
+    match
+      List.filter (fun c -> not (List.mem c cats)) require_cats
+    with
+    | [] -> Ok ()
+    | missing ->
+        Error
+          (Printf.sprintf "no span from: %s" (String.concat ", " missing))
+  in
+  Ok (List.length evs)

@@ -1,0 +1,69 @@
+(** Span tracing with Chrome trace-event export.
+
+    A span is a named, timed interval on one domain; nesting falls out
+    of the timestamps (a child span starts after and ends before its
+    parent on the same [tid]).  Spans record into per-domain buffers
+    (no locking on the hot path) and are merged at export into a
+    Chrome trace-event JSON document that Perfetto and
+    [chrome://tracing] load directly, plus a flat per-name text
+    summary.
+
+    Tracing is {b off by default}: {!with_span} then runs its thunk
+    with nothing but one atomic load of overhead, and nothing is ever
+    buffered.  The CLI's [--trace FILE] and [stats] commands switch it
+    on.  Like {!Metrics}, the tracer is strictly observational — paper
+    outputs are byte-identical with tracing on and off, which [ci.sh]
+    asserts.
+
+    Timestamps come from a per-domain monotonised wall clock
+    (successive reads on one domain never decrease), so span trees are
+    well-nested even across a system clock step. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span ~cat name f] runs [f ()] inside a span; the span is
+    recorded when [f] returns {e or raises}.  [cat] becomes the Chrome
+    event category (the subsystem: ["sim"], ["pool"],
+    ["experiment"]). *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ts_us : float;  (** start, microseconds since process start *)
+  ev_dur_us : float;
+  ev_tid : int;  (** recording domain's id *)
+}
+
+val events : unit -> event list
+(** Every recorded span, merged across domains, sorted by start time
+    (ties: longer span — the parent — first). *)
+
+val reset : unit -> unit
+(** Drop all recorded spans.  Only meaningful while no worker domain
+    is recording. *)
+
+val to_chrome_json : unit -> Json.t
+(** The recorded spans as a Chrome trace-event document:
+    [{"traceEvents": [{"name", "cat", "ph": "X", "ts", "dur", "pid",
+    "tid"}, ...], "displayTimeUnit": "ms"}]. *)
+
+val write_chrome : string -> unit
+(** Serialise {!to_chrome_json} to a file. *)
+
+val summary : unit -> ((string * string) * (int * float)) list
+(** Aggregated ((cat, name), (span count, total microseconds)),
+    sorted by category then name. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** The flat text rendering of {!summary}. *)
+
+val validate_chrome :
+  ?require_cats:string list -> string -> (int, string) result
+(** Validate a serialised trace: it must parse as JSON, carry a
+    [traceEvents] array whose every element has the complete-event
+    shape ([name]/[cat] strings, [ph = "X"], finite [ts], non-negative
+    [dur], numeric [tid]), and contain at least one event of every
+    category in [require_cats].  [Ok n] is the event count.  This is
+    what the [trace-check] CLI command and the CI gate run. *)

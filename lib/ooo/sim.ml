@@ -51,6 +51,7 @@ let env_max_cycles () =
 
 let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
     ?(selfcheck = false) ~init program =
+  T1000_obs.Tracer.with_span ~cat:"sim" "sim.run" @@ fun () ->
   let mem = Memory.create () in
   let regs = Regfile.create () in
   init mem regs;
@@ -491,8 +492,9 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
     incr now
   done;
   let mr c = Cache.miss_rate c and tr t = Tlb.miss_rate t in
-  {
-    Stats.cycles = !now;
+  let stats =
+    {
+      Stats.cycles = !now;
     committed = !committed;
     ext_committed = !ext_committed;
     ipc =
@@ -507,9 +509,30 @@ let run ?(mconfig = Mconfig.default) ?(ext_latency = fun _ -> 1) ?ext_eval
     avg_ruu_occupancy =
       (if !now = 0 then 0.0
        else float_of_int !occupancy_sum /. float_of_int !now);
-    l1i_miss_rate = mr (Hierarchy.l1i hier);
-    l1d_miss_rate = mr (Hierarchy.l1d hier);
-    l2_miss_rate = mr (Hierarchy.l2 hier);
-    itlb_miss_rate = tr (Hierarchy.itlb hier);
-    dtlb_miss_rate = tr (Hierarchy.dtlb hier);
-  }
+      l1i_miss_rate = mr (Hierarchy.l1i hier);
+      l1d_miss_rate = mr (Hierarchy.l1d hier);
+      l2_miss_rate = mr (Hierarchy.l2 hier);
+      itlb_miss_rate = tr (Hierarchy.itlb hier);
+      dtlb_miss_rate = tr (Hierarchy.dtlb hier);
+    }
+  in
+  (* Strictly observational telemetry: the counters summarise this run
+     for Obs consumers (traces, `t1000_cli stats`, BENCH phases); the
+     returned stats — and therefore every paper artifact — are
+     untouched. *)
+  let m = T1000_obs.Metrics.incr in
+  m "sim.runs";
+  m ~by:stats.Stats.cycles "sim.cycles";
+  m ~by:stats.Stats.committed "sim.committed";
+  m ~by:stats.Stats.ext_committed "sim.ext_committed";
+  m ~by:stats.Stats.pfu_hits "sim.pfu.hits";
+  m ~by:stats.Stats.pfu_misses "sim.pfu.misses";
+  m ~by:stats.Stats.pfu_stalls "sim.pfu.stall_events";
+  m ~by:stats.Stats.ruu_full_stalls "sim.stall.ruu_full";
+  m ~by:stats.Stats.fetch_stall_cycles "sim.stall.fetch_cycles";
+  m ~by:stats.Stats.branch_mispredicts "sim.branch_mispredicts";
+  T1000_obs.Metrics.observe "sim.ruu_occupancy"
+    stats.Stats.avg_ruu_occupancy;
+  T1000_obs.Metrics.observe "sim.cycles_per_run"
+    (float_of_int stats.Stats.cycles);
+  stats
