@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke fuzz speed trace ci clean
+.PHONY: all build test fmt smoke fuzz speed trace dse golden ci clean
 
 all: build
 
@@ -34,6 +34,17 @@ fuzz:
 # and ablation; writes BENCH_engine.json.
 speed:
 	dune exec bench/main.exe -- speed
+
+# Design-space exploration: Pareto frontier of (geomean speedup, LUT
+# area, PFU count) over the 6-axis selective configuration space, with
+# dominance pruning and checkpoint/resume; writes DSE.json.
+dse:
+	dune exec bin/t1000_cli.exe -- dse --budget 24 --json DSE.json
+
+# Re-record the golden artifact snapshots under test/golden/ after an
+# intentional model or rendering change.
+golden:
+	T1000_PROMOTE=1 T1000_GOLDEN_DIR=test/golden dune exec test/test_golden.exe
 
 # Traced Figure 2 on a reduced suite: writes trace.json (load it in
 # Perfetto or chrome://tracing) and validates it.

@@ -114,6 +114,17 @@ let run_a8 () =
        ~title:"speedup with/without cfgld preheader prefetch hints")
     (Experiment.prefetch_sweep (Lazy.force ctx))
 
+(* Small budget: each design point simulates the whole suite, so this
+   leg is the frontier of the coarse corner of the default space, not
+   an exhaustive sweep — `t1000 dse` is the full-fat entry point. *)
+let dse_budget = 8
+
+let run_dse () =
+  banner "DSE: design-space Pareto frontier (coarse, small budget)";
+  Format.printf "%a@." T1000_dse.Engine.pp_frontier
+    (T1000_dse.Engine.explore ~budget:dse_budget (Lazy.force ctx)
+       T1000_dse.Space.default)
+
 (* ---- Bechamel micro-benchmarks of the system's own hot paths ---- *)
 
 let perf_tests () =
@@ -304,6 +315,21 @@ let run_speed () =
       o.T1000_fuzz.Fuzz.elapsed_s o.T1000_fuzz.Fuzz.cases_per_s;
     o
   in
+  let dse =
+    let t0 = Unix.gettimeofday () in
+    let ctx = Experiment.create_ctx ~workloads:(suite_workloads ()) () in
+    let r =
+      T1000_dse.Engine.explore ~budget:dse_budget ctx T1000_dse.Space.default
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf
+      "  dse      budget=%d %8.2f s  (%d evaluated, %d pruned, frontier %d)@."
+      dse_budget dt
+      (List.length r.T1000_dse.Engine.measured)
+      (List.length r.T1000_dse.Engine.pruned)
+      (List.length r.T1000_dse.Engine.frontier);
+    (r, dt)
+  in
   let parallel_speedup =
     match par with
     | Some (par_total, _, _) when par_total > 0.0 ->
@@ -336,6 +362,16 @@ let run_speed () =
     fuzz.T1000_fuzz.Fuzz.cases fuzz.T1000_fuzz.Fuzz.elapsed_s
     fuzz.T1000_fuzz.Fuzz.cases_per_s
     (List.length fuzz.T1000_fuzz.Fuzz.failures);
+  (let r, dt = dse in
+   Printf.fprintf oc
+     ",\n\
+     \  \"dse\": { \"budget\": %d, \"evaluated\": %d, \"pruned\": %d, \
+      \"frontier\": %d, \"rounds\": %d, \"seconds\": %.3f }"
+     dse_budget
+     (List.length r.T1000_dse.Engine.measured)
+     (List.length r.T1000_dse.Engine.pruned)
+     (List.length r.T1000_dse.Engine.frontier)
+     r.T1000_dse.Engine.rounds dt);
   Printf.fprintf oc ",\n  \"parallel_speedup\": %s\n}\n"
     (match parallel_speedup with
     | None -> "null"
@@ -389,13 +425,14 @@ let () =
           | "a6" -> run_a6 ()
           | "a7" -> run_a7 ()
           | "a8" -> run_a8 ()
+          | "dse" -> run_dse ()
           | "paper" -> paper ()
           | "ablations" -> ablations ()
           | "perf" -> run_perf ()
           | "speed" -> run_speed ()
           | other ->
               Format.eprintf
-                "unknown experiment %S (expected f2 t41 f6 s52 f7 a1-a8 \
+                "unknown experiment %S (expected f2 t41 f6 s52 f7 a1-a8 dse \
                  paper ablations perf speed)@."
                 other;
               exit 2)

@@ -455,6 +455,136 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate paper tables/figures.")
     Term.(const run $ jobs $ resume $ selfcheck_arg $ trace_arg $ ids)
 
+(* ---- dse ---- *)
+
+let dse_cmd =
+  let run jobs resume budget axes full json trace =
+    setup_trace trace;
+    (match jobs with
+    | Some n when n < 1 ->
+        Format.eprintf "t1000_cli: -j/--jobs must be >= 1, got %d@." n;
+        exit 2
+    | Some n -> Unix.putenv "T1000_NJOBS" (string_of_int n)
+    | None -> ());
+    if budget < 1 then begin
+      Format.eprintf "t1000_cli: --budget must be >= 1, got %d@." budget;
+      exit 2
+    end;
+    let space =
+      match axes with
+      | None -> T1000_dse.Space.default
+      | Some spec -> (
+          match T1000_dse.Space.of_spec spec with
+          | Ok s -> s
+          | Error msg ->
+              Format.eprintf "t1000_cli: bad --axes: %s@." msg;
+              exit 2)
+    in
+    let checkpoint_dir = T1000.Checkpoint.default_dir () in
+    if resume && checkpoint_dir = None then begin
+      Format.eprintf
+        "t1000_cli: --resume needs %s to point at the journal directory@."
+        T1000.Checkpoint.env_var;
+      exit 2
+    end;
+    with_faults @@ fun () ->
+    let journal =
+      Option.map
+        (fun dir ->
+          let j =
+            T1000.Checkpoint.create ~fresh:(not resume) ~dir ~run:"dse" ()
+          in
+          List.iter
+            (Format.eprintf "t1000_cli: dropped corrupt checkpoint record: %s@.")
+            (T1000.Checkpoint.corrupt j);
+          j)
+        checkpoint_dir
+    in
+    let ctx = T1000.Experiment.create_ctx ~workloads:(suite_workloads ()) () in
+    let r =
+      T1000_dse.Engine.explore ?journal ~budget
+        ~sample:(if full then `Full else `Coarse)
+        ctx space
+    in
+    Format.printf "%a@." T1000_dse.Engine.pp_frontier r;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (T1000.Obs.Json.to_string (T1000_dse.Engine.to_json r));
+        output_string oc "\n";
+        close_out oc;
+        Format.eprintf "t1000_cli: dse report written to %s@." path);
+    match r.T1000_dse.Engine.faults with
+    | [] -> ()
+    | fs ->
+        Format.eprintf "%a@." T1000.Report.pp_faults fs;
+        exit 3
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the exploration (overrides \
+             $(b,T1000_NJOBS); 1 = sequential).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the $(b,dse) checkpoint journal in \
+             $(b,T1000_CHECKPOINT_DIR) instead of starting it afresh.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int T1000_dse.Engine.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Maximum number of configurations to evaluate.")
+  in
+  let axes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "axes" ] ~docv:"SPEC"
+          ~doc:
+            "Override the default 6-axis space: colon-separated \
+             $(i,axis)=$(i,v,v,...) groups over pfus, penalty, lut, repl \
+             (lru/fifo/rand), gain and width, e.g. \
+             $(b,pfus=1,2,4:penalty=0,100:width=4).  Omitted axes keep \
+             their defaults.")
+  in
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Enumerate the space exhaustively (up to the budget) instead \
+             of the coarse-grid + successive-halving refinement sampler; \
+             dominance pruning still applies.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Also write the machine-readable exploration report (space, \
+             counters, every measured point, frontier membership, faults).")
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Multi-objective design-space exploration: Pareto frontier of \
+          (geomean speedup, LUT area, PFU count) over the PFU-count x \
+          penalty x LUT-budget x replacement x gain x machine-width space, \
+          with dominance pruning, checkpoint/resume and worker-pool fan-out.")
+    Term.(
+      const run $ jobs $ resume $ budget $ axes $ full $ json $ trace_arg)
+
 (* ---- stats ---- *)
 
 let stats_cmd =
@@ -639,6 +769,6 @@ let () =
        (Cmd.group (Cmd.info "t1000_cli" ~doc)
           [
             list_cmd; disasm_cmd; profile_cmd; mine_cmd; replay_cmd;
-            run_cmd; dot_cmd; experiment_cmd; stats_cmd; trace_check_cmd;
-            fuzz_cmd;
+            run_cmd; dot_cmd; experiment_cmd; dse_cmd; stats_cmd;
+            trace_check_cmd; fuzz_cmd;
           ]))

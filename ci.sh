@@ -136,6 +136,49 @@ grep -q "pool.tasks" "$CKPT_DIR/obs_traced.err" || {
   exit 1
 }
 
+echo "== dse: frontier determinism across worker counts =="
+# A tiny-budget design-space exploration on the reduced suite must
+# print a byte-identical frontier sequentially and on 4 workers.
+DSE_AXES="pfus=1,2,4:penalty=0,100,500:lut=75,150:repl=lru:gain=0.005:width=4"
+DSE_SEQ="$CKPT_DIR/dse_seq.out"
+DSE_PAR="$CKPT_DIR/dse_par.out"
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=1 \
+  timeout 900 dune exec bin/t1000_cli.exe -- dse --axes "$DSE_AXES" --budget 12 > "$DSE_SEQ"
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=4 \
+  timeout 900 dune exec bin/t1000_cli.exe -- dse --axes "$DSE_AXES" --budget 12 > "$DSE_PAR"
+diff "$DSE_SEQ" "$DSE_PAR" || {
+  echo "dse frontier differs between njobs=1 and njobs=4" >&2
+  exit 1
+}
+
+echo "== dse: interrupted exploration resumes byte-identically =="
+# Kill the exploration mid-flight with an injected fault (exit 3), then
+# --resume against the journal: the finished frontier must match the
+# uninterrupted run byte for byte.
+DSE_CKPT=$(mktemp -d)
+set +e
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 \
+  T1000_CHECKPOINT_DIR="$DSE_CKPT" T1000_FAULT_INJECT=g721_dec \
+  timeout 900 dune exec bin/t1000_cli.exe -- dse --axes "$DSE_AXES" --budget 12 \
+  > "$CKPT_DIR/dse_faulted.out" 2> "$CKPT_DIR/dse_faulted.err"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit code 3 from the faulted dse run, got $rc" >&2
+  cat "$CKPT_DIR/dse_faulted.err" >&2
+  exit 1
+fi
+DSE_RESUMED="$CKPT_DIR/dse_resumed.out"
+T1000_WORKLOADS=unepic,g721_dec T1000_NJOBS=2 \
+  T1000_CHECKPOINT_DIR="$DSE_CKPT" \
+  timeout 900 dune exec bin/t1000_cli.exe -- dse --axes "$DSE_AXES" --budget 12 --resume \
+  > "$DSE_RESUMED"
+rm -rf "$DSE_CKPT"
+diff "$DSE_SEQ" "$DSE_RESUMED" || {
+  echo "resumed dse frontier differs from the uninterrupted run" >&2
+  exit 1
+}
+
 # Long soak (opt-in): many more cases, drills and an in-process chaos
 # sweep.  Enable with T1000_SOAK=1.
 if [ "${T1000_SOAK:-0}" = "1" ]; then

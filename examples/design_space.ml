@@ -1,9 +1,13 @@
 (* Design-space exploration: how many PFUs does a workload deserve, and
    how sensitive is the answer to the reconfiguration penalty?
 
-   Sweeps PFU count x penalty for one benchmark under the selective
-   algorithm and prints a speedup grid — the kind of study an
-   architect would run before fixing the PFU budget in silicon. *)
+   A thin driver over lib/dse: builds a 2-axis (PFU count x penalty)
+   Space around the selective defaults, scores every point with
+   Engine.eval_point, prints the speedup grid the original hand-rolled
+   version printed, and then the Pareto view of the same measurements —
+   the kind of study an architect would run before fixing the PFU
+   budget in silicon.  `t1000 dse` runs the same engine over all six
+   axes with pruning, checkpointing and a worker pool. *)
 
 let pfu_counts = [ 1; 2; 3; 4; 8 ]
 let penalties = [ 0; 10; 100; 500 ]
@@ -21,29 +25,48 @@ let () =
         exit 2
   in
   Format.printf "design space for %s (selective algorithm)@.@." name;
-  let analysis = T1000.Runner.analyze workload in
-  let baseline =
-    T1000.Runner.run ~analysis workload
-      (T1000.Runner.setup T1000.Runner.Baseline)
+  let ctx = T1000.Experiment.create_ctx ~workloads:[ workload ] () in
+  let point pfus penalty =
+    {
+      T1000_dse.Space.pfus;
+      penalty;
+      lut_budget = T1000_hwcost.Lut.default_budget;
+      replacement = T1000_ooo.Mconfig.Lru;
+      gain = 0.005;
+      width = 4;
+    }
   in
   Format.printf "%12s" "pfus \\ pen";
   List.iter (fun p -> Format.printf "%10d" p) penalties;
   Format.printf "@.";
+  let measured = ref [] in
   List.iter
     (fun n ->
       Format.printf "%12d" n;
       List.iter
         (fun pen ->
-          let r =
-            T1000.Runner.run ~analysis workload
-              (T1000.Runner.setup ~n_pfus:(Some n) ~penalty:pen
-                 T1000.Runner.Selective)
-          in
-          Format.printf "%10.3f" (T1000.Runner.speedup ~baseline r))
+          let m = T1000_dse.Engine.eval_point ctx (point n pen) in
+          measured := m :: !measured;
+          Format.printf "%10.3f" m.T1000_dse.Engine.obj.T1000_dse.Pareto.speedup)
         penalties;
       Format.printf "@.")
     pfu_counts;
   Format.printf
     "@.rows: number of PFUs; columns: reconfiguration penalty (cycles);@.";
   Format.printf
-    "cells: execution-time speedup over the no-PFU superscalar.@."
+    "cells: execution-time speedup over the no-PFU superscalar.@.";
+  (* The Pareto view of the very same grid: which (pfus, penalty) points
+     are worth building once area and PFU count enter the tradeoff. *)
+  let frontier =
+    T1000_dse.Pareto.frontier
+      (List.rev_map
+         (fun m -> (m, m.T1000_dse.Engine.obj))
+         !measured)
+  in
+  Format.printf "@.Pareto-optimal (speedup vs LUT area vs PFUs):@.";
+  List.iter
+    (fun (m, o) ->
+      Format.printf "  %-32s %a@."
+        (T1000_dse.Space.key m.T1000_dse.Engine.point)
+        T1000_dse.Pareto.pp o)
+    frontier

@@ -25,7 +25,7 @@ let sel_key (s : Runner.setup) =
 type ctx = {
   suite : Workload.t list;
   analyses : (string, Runner.analysis) Memo.t;
-  baselines : (string, Runner.run) Memo.t;
+  baselines : (string * Mconfig.t, Runner.run) Memo.t;
   tables : (string * sel_key, T1000_select.Extinstr.t) Memo.t;
 }
 
@@ -42,9 +42,14 @@ let workloads ctx = ctx.suite
 let analysis ctx (w : Workload.t) =
   Memo.find_or_compute ctx.analyses w.Workload.name (fun () -> Runner.analyze w)
 
-let baseline ctx (w : Workload.t) =
-  Memo.find_or_compute ctx.baselines w.Workload.name (fun () ->
-      Runner.run ~analysis:(analysis ctx w) w (Runner.setup Runner.Baseline))
+let baseline_for ctx (w : Workload.t) machine =
+  Memo.find_or_compute ctx.baselines
+    (w.Workload.name, machine)
+    (fun () ->
+      Runner.run ~analysis:(analysis ctx w) w
+        { (Runner.setup Runner.Baseline) with Runner.machine })
+
+let baseline ctx (w : Workload.t) = baseline_for ctx w Mconfig.default
 
 let baseline_stats ctx w = (baseline ctx w).Runner.stats
 
@@ -500,16 +505,13 @@ let machine_sweep_result ?journal ctx =
   sweep_partial ?journal ~id:"a5" ctx machines (fun w m ->
       (* Compare like with like: the no-PFU baseline must run on the
          same machine width. *)
-      let base_setup =
-        { (Runner.setup Runner.Baseline) with Runner.machine = m }
-      in
       let sel_setup =
         {
           (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
           Runner.machine = m;
         }
       in
-      let b = run_setup ctx w base_setup in
+      let b = baseline_for ctx w m in
       let r = run_setup ctx w sel_setup in
       Runner.speedup ~baseline:b r)
 
@@ -530,16 +532,13 @@ let branch_predictor_sweep_result ?journal ctx =
   in
   sweep_partial ?journal ~id:"a7" ctx preds (fun w bp ->
       let machine = { Mconfig.default with Mconfig.branch_pred = bp } in
-      let base_setup =
-        { (Runner.setup Runner.Baseline) with Runner.machine }
-      in
       let sel_setup =
         {
           (Runner.setup ~n_pfus:(Some 4) Runner.Selective) with
           Runner.machine;
         }
       in
-      let b = run_setup ctx w base_setup in
+      let b = baseline_for ctx w machine in
       let r = run_setup ctx w sel_setup in
       Runner.speedup ~baseline:b r)
 

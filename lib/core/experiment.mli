@@ -22,6 +22,14 @@ val analysis : ctx -> Workload.t -> Runner.analysis
 val baseline : ctx -> Workload.t -> Runner.run
 val baseline_stats : ctx -> Workload.t -> T1000_ooo.Stats.t
 
+val baseline_for :
+  ctx -> Workload.t -> T1000_ooo.Mconfig.t -> Runner.run
+(** The workload's no-PFU baseline on an arbitrary base machine, cached
+    per (workload, machine) — what lets a machine-width axis (the A5
+    sweep, the {e lib/dse} width axis) compare every configured point
+    against a baseline of the same width without re-simulating it per
+    point.  {!baseline} is [baseline_for] at {!T1000_ooo.Mconfig.default}. *)
+
 val selection_table :
   ctx -> Workload.t -> Runner.setup -> T1000_select.Extinstr.t
 (** The setup's extended-instruction table, cached per workload on the

@@ -1,0 +1,25 @@
+type objectives = {
+  speedup : float;
+  area_luts : int;
+  pfus : int;
+}
+
+let dominates a b =
+  a.speedup >= b.speedup
+  && a.area_luts <= b.area_luts
+  && a.pfus <= b.pfus
+  && (a.speedup > b.speedup || a.area_luts < b.area_luts || a.pfus < b.pfus)
+
+let dominates_with_margin ~slack a b =
+  a.speedup >= b.speedup *. (1. +. slack)
+  && a.area_luts <= b.area_luts
+  && a.pfus <= b.pfus
+
+let frontier xs =
+  List.filter
+    (fun (_, o) -> not (List.exists (fun (_, o') -> dominates o' o) xs))
+    xs
+
+let pp ppf o =
+  Format.fprintf ppf "speedup %.3f, %d LUTs, %d PFU(s)" o.speedup o.area_luts
+    o.pfus

@@ -1,0 +1,37 @@
+(** Multi-objective dominance over the DSE's three objectives:
+    maximize geomean speedup, minimize configuration LUT area, minimize
+    PFU count.
+
+    The frontier is the set of mutually non-dominated points; points
+    with {e equal} objective vectors do not dominate each other, so
+    ties all stay on the frontier (and exploration output stays
+    deterministic — no arbitrary tie-breaking). *)
+
+type objectives = {
+  speedup : float;  (** geomean speedup over the workload set; maximize *)
+  area_luts : int;  (** summed LUT cost of every selected instruction
+                        across the workload set; minimize *)
+  pfus : int;  (** PFU count; minimize *)
+}
+
+val dominates : objectives -> objectives -> bool
+(** [dominates a b]: [a] is no worse than [b] on every objective and
+    strictly better on at least one. *)
+
+val dominates_with_margin : slack:float -> objectives -> objectives -> bool
+(** [dominates_with_margin ~slack a b]: like {!dominates}, but [a] must
+    beat [b]'s speedup by at least the relative margin [slack]
+    ([a.speedup >= b.speedup *. (1. +. slack)]) while staying no worse
+    on area and PFUs.  The engine prunes against this stronger relation:
+    the cycle-accurate simulator's speedup is only penalty-monotone up
+    to tiny alignment noise (an extra reconfiguration stall can shift a
+    fetch pattern favorably by a few cycles), so requiring a clear
+    margin keeps noise-sized inversions from ever pruning a frontier
+    member.  [slack] must be positive: any [a] satisfying it strictly
+    dominates not just [b] but every point whose speedup exceeds [b]'s
+    by less than the margin. *)
+
+val frontier : ('a * objectives) list -> ('a * objectives) list
+(** The non-dominated subset, preserving input order. *)
+
+val pp : Format.formatter -> objectives -> unit

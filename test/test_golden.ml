@@ -1,0 +1,168 @@
+(* Golden-artifact regression suite: the rendered text of every paper
+   figure/table and DESIGN.md ablation, snapshotted under test/golden/
+   and byte-diffed on every `dune runtest`.
+
+   The experiment engine is deterministic, so any diff is a real
+   behavior change — either a bug or an intentional model change.  To
+   re-record after an intentional change:
+
+     make golden        # = T1000_PROMOTE=1 dune exec test/test_golden.exe
+
+   The snapshots are taken on a fixed two-workload suite (unepic +
+   g721_dec, one EPIC-family and one telecom benchmark) so the suite
+   stays fast and hermetic: T1000_WORKLOADS is deliberately ignored
+   here, a subset run must not silently re-golden the repo. *)
+
+open T1000
+
+let golden_workloads = [ "unepic"; "g721_dec" ]
+
+let golden_dir =
+  match Sys.getenv_opt "T1000_GOLDEN_DIR" with
+  | Some d when String.trim d <> "" -> d
+  | Some _ | None -> "golden"
+
+let promote () =
+  match Sys.getenv_opt "T1000_PROMOTE" with
+  | Some "1" -> true
+  | Some _ | None -> false
+
+let ctx =
+  lazy
+    (Experiment.create_ctx
+       ~workloads:
+         (List.map
+            (fun n ->
+              match T1000_workloads.Registry.find n with
+              | Some w -> w
+              | None -> Alcotest.failf "golden workload %s missing" n)
+            golden_workloads)
+       ())
+
+(* Exactly the renderings bench/main.exe prints (minus the banner), so
+   the snapshots double as a regression net for the bench output. *)
+let artifacts : (string * (Experiment.ctx -> string)) list =
+  [
+    ("f2", fun c -> Format.asprintf "%a" Report.pp_figure2 (Experiment.figure2 c));
+    ( "t41",
+      fun c -> Format.asprintf "%a" Report.pp_table41 (Experiment.table41 c) );
+    ("f6", fun c -> Format.asprintf "%a" Report.pp_figure6 (Experiment.figure6 c));
+    ( "s52",
+      fun c ->
+        Format.asprintf "%a" Report.pp_penalty_sweep (Experiment.penalty_sweep c)
+    );
+    ("f7", fun c -> Format.asprintf "%a" Report.pp_figure7 (Experiment.figure7 c));
+    ( "a1",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep ~title:"selective speedup vs number of PFUs")
+          (Experiment.pfu_count_sweep c) );
+    ( "a2",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep ~title:"greedy-unlimited speedup vs width threshold")
+          (Experiment.width_threshold_sweep c) );
+    ( "a3",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep ~title:"selective speedup vs gain-ratio threshold")
+          (Experiment.gain_threshold_sweep c) );
+    ( "a4",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep ~title:"selective speedup vs replacement policy")
+          (Experiment.replacement_sweep c) );
+    ( "a5",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep
+             ~title:"speedup vs machine width (per-width baseline)")
+          (Experiment.machine_sweep c) );
+    ( "a6",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep
+             ~title:"speedup: single-cycle PFU vs LUT-level delay model")
+          (Experiment.latency_model_sweep c) );
+    ( "a7",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep
+             ~title:"speedup: perfect vs bimodal branch prediction")
+          (Experiment.branch_predictor_sweep c) );
+    ( "a8",
+      fun c ->
+        Format.asprintf "%a"
+          (Report.pp_sweep
+             ~title:"speedup with/without cfgld preheader prefetch hints")
+          (Experiment.prefetch_sweep c) );
+    ( "dse",
+      fun c ->
+        Format.asprintf "%a" T1000_dse.Engine.pp_frontier
+          (T1000_dse.Engine.explore ~budget:12 c
+             (match
+                T1000_dse.Space.of_spec
+                  "pfus=1,2,4:penalty=0,100,500:lut=150:repl=lru:gain=0.005:width=4"
+              with
+             | Ok s -> s
+             | Error e -> Alcotest.failf "golden dse space: %s" e)) );
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* First line where the two renderings part ways, for a readable
+   failure without shipping a diff implementation. *)
+let first_divergence a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> None
+    | x :: _, [] -> Some (i, x, "<end of golden file>")
+    | [], y :: _ -> Some (i, "<end of output>", y)
+    | x :: ta, y :: tb ->
+        if String.equal x y then go (i + 1) ta tb else Some (i, x, y)
+  in
+  go 1 la lb
+
+let check name render () =
+  let got = render (Lazy.force ctx) in
+  let path = Filename.concat golden_dir (name ^ ".txt") in
+  if promote () then begin
+    write_file path got;
+    Format.printf "promoted %s@." path
+  end
+  else if not (Sys.file_exists path) then
+    Alcotest.failf
+      "no golden file %s — record it with `make golden` (T1000_PROMOTE=1)"
+      path
+  else
+    let want = read_file path in
+    if not (String.equal got want) then
+      match first_divergence got want with
+      | Some (line, g, w) ->
+          Alcotest.failf
+            "%s drifted from %s at line %d:@\n\
+            \  output: %s@\n\
+            \  golden: %s@\n\
+             re-record intentional changes with `make golden`"
+            name path line g w
+      | None -> Alcotest.failf "%s differs from %s (whitespace only?)" name path
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "artifacts",
+        List.map
+          (fun (name, render) ->
+            Alcotest.test_case name `Slow (check name render))
+          artifacts );
+    ]
