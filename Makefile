@@ -1,4 +1,4 @@
-.PHONY: all build test fmt smoke fuzz speed trace dse golden ci clean
+.PHONY: all build test fmt smoke fuzz speed trace dse golden serve-bench ci clean
 
 all: build
 
@@ -40,6 +40,12 @@ speed:
 # dominance pruning and checkpoint/resume; writes DSE.json.
 dse:
 	dune exec bin/t1000_cli.exe -- dse --budget 24 --json DSE.json
+
+# Load benchmark of the selection-as-a-service daemon: throughput and
+# latency percentiles at 1/8/64 concurrent clients plus a deliberate
+# overload leg (queue depth 1); writes BENCH_serve.json.
+serve-bench:
+	dune exec bench/main.exe -- serve
 
 # Re-record the golden artifact snapshots under test/golden/ after an
 # intentional model or rendering change.

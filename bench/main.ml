@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- paper     # paper artifacts only
      dune exec bench/main.exe -- perf      # Bechamel micro-benchmarks
      dune exec bench/main.exe -- speed     # engine timing -> BENCH_engine.json
+     dune exec bench/main.exe -- serve     # daemon load    -> BENCH_serve.json
 
    Environment:
      T1000_NJOBS      worker count for the experiment engine (1 = serial)
@@ -386,6 +387,178 @@ let run_speed () =
       Format.printf "@.sequential %.2f s | parallel leg skipped@." seq_total);
   Format.printf "wrote BENCH_engine.json@."
 
+(* ---- serve daemon load benchmark (the `serve` target) ----
+
+   Throughput and latency of the selection-as-a-service daemon at 1, 8
+   and 64 concurrent clients, plus a deliberate-overload leg (one
+   worker, queue depth 1) measuring the shed rate.  Requests carry
+   distinct penalties so every one simulates (the analysis/baseline/
+   table caches stay warm — the realistic multi-tenant pattern), and
+   the results land in BENCH_serve.json. *)
+
+module Sproto = T1000_serve.Protocol
+module Sserver = T1000_serve.Server
+module Sclient = T1000_serve.Client
+
+let serve_bench_requests () =
+  match Sys.getenv_opt "T1000_SERVE_BENCH_REQUESTS" with
+  | None | Some "" -> 8
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          Format.eprintf
+            "T1000_SERVE_BENCH_REQUESTS must be a positive integer@.";
+          exit 2)
+
+(* ~8k loop iterations: a simulation in the low tens of milliseconds,
+   so a load leg exercises queueing rather than one giant sim. *)
+let serve_bench_kernel =
+  Sproto.Asm
+    {
+      name = "bench";
+      text =
+        "    addui r2, r0, 8192\n\
+        \    addui r1, r0, 0\n\
+         loop:\n\
+        \    addui r1, r1, 1\n\
+        \    bne r1, r2, loop\n\
+        \    halt\n";
+    }
+
+let serve_leg ~clients ~requests ~queue ~njobs kernel =
+  let path = Filename.temp_file "t1000_serve_bench" ".sock" in
+  Sys.remove path;
+  let srv =
+    Sserver.create
+      {
+        Sserver.addrs = [ Sserver.Unix_sock path ];
+        queue_depth = queue;
+        njobs;
+        default_deadline_ms = None;
+        retries = None;
+        max_steps = 10_000_000;
+      }
+  in
+  let th = Thread.create Sserver.run srv in
+  let latencies = Array.make (clients * requests) 0.0 in
+  let ok = Atomic.make 0 and shed = Atomic.make 0 and errors = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            match Sclient.connect (Sserver.Unix_sock path) with
+            | Error m ->
+                Format.eprintf "serve bench: %s@." m;
+                exit 1
+            | Ok c ->
+                for r = 0 to requests - 1 do
+                  let i = (ci * requests) + r in
+                  let sel =
+                    {
+                      Sproto.kernel;
+                      method_ = `Selective;
+                      pfus = Some 2;
+                      penalty = i (* unique: defeat the result cache *);
+                      max_cycles = None;
+                      deadline_ms = None;
+                    }
+                  in
+                  let s = Unix.gettimeofday () in
+                  (match Sclient.request c sel with
+                  | Ok (`Outcome _) -> Atomic.incr ok
+                  | Ok (`Error (Sproto.Overloaded, _)) -> Atomic.incr shed
+                  | Ok _ | Error _ -> Atomic.incr errors);
+                  latencies.(i) <- (Unix.gettimeofday () -. s) *. 1e3
+                done;
+                Sclient.close c)
+          ())
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Sserver.stop srv;
+  Thread.join th;
+  (try Sys.remove path with Sys_error _ -> ());
+  Array.sort compare latencies;
+  let pct p =
+    let n = Array.length latencies in
+    latencies.(max 0 (min (n - 1) (int_of_float (p /. 100. *. float_of_int n))))
+  in
+  ( elapsed,
+    Atomic.get ok,
+    Atomic.get shed,
+    Atomic.get errors,
+    pct 50.,
+    pct 95.,
+    latencies.(Array.length latencies - 1) )
+
+let run_serve () =
+  banner "SERVE: daemon load benchmark";
+  let requests = serve_bench_requests () in
+  let njobs = Pool.default_njobs () in
+  let levels = [ 1; 8; 64 ] in
+  let legs =
+    List.map
+      (fun clients ->
+        let elapsed, ok, shed, errors, p50, p95, pmax =
+          serve_leg ~clients ~requests ~queue:128 ~njobs serve_bench_kernel
+        in
+        let total = clients * requests in
+        Format.printf
+          "  %3d clients x %d req: %6.2f s  %7.1f req/s  p50 %6.1f ms  p95 \
+           %6.1f ms  (ok %d, shed %d, errors %d)@."
+          clients requests elapsed
+          (float_of_int total /. elapsed)
+          p50 p95 ok shed errors;
+        (clients, total, elapsed, ok, shed, errors, p50, p95, pmax))
+      levels
+  in
+  (* Overload: one worker, queue depth 1, everyone at once — the point
+     is the shed rate, not throughput. *)
+  let o_clients = 16 and o_requests = max 1 (requests / 4) in
+  let o_elapsed, o_ok, o_shed, o_errors, _, _, _ =
+    serve_leg ~clients:o_clients ~requests:o_requests ~queue:1 ~njobs:1
+      serve_bench_kernel
+  in
+  let o_total = o_clients * o_requests in
+  let o_rate = float_of_int o_shed /. float_of_int o_total in
+  Format.printf
+    "  overload %d clients x %d req (queue 1, 1 worker): %6.2f s  shed \
+     %d/%d (%.0f%%), ok %d, errors %d@."
+    o_clients o_requests o_elapsed o_shed o_total (100. *. o_rate) o_ok
+    o_errors;
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"generated_by\": \"dune exec bench/main.exe -- serve\",\n\
+    \  \"njobs\": %d,\n\
+    \  \"requests_per_client\": %d,\n\
+    \  \"levels\": [" njobs requests;
+  List.iteri
+    (fun i (clients, total, elapsed, ok, shed, errors, p50, p95, pmax) ->
+      Printf.fprintf oc
+        "%s\n\
+        \    { \"clients\": %d, \"requests\": %d, \"seconds\": %.3f, \
+         \"throughput_rps\": %.1f, \"ok\": %d, \"shed\": %d, \"errors\": \
+         %d, \"latency_ms\": { \"p50\": %.2f, \"p95\": %.2f, \"max\": %.2f \
+         } }"
+        (if i = 0 then "" else ",")
+        clients total elapsed
+        (float_of_int total /. elapsed)
+        ok shed errors p50 p95 pmax)
+    legs;
+  Printf.fprintf oc
+    "\n\
+    \  ],\n\
+    \  \"overload\": { \"clients\": %d, \"requests\": %d, \"queue_depth\": \
+     1, \"njobs\": 1, \"seconds\": %.3f, \"ok\": %d, \"shed\": %d, \
+     \"errors\": %d, \"shed_rate\": %.3f }\n\
+     }\n"
+    o_clients o_total o_elapsed o_ok o_shed o_errors o_rate;
+  close_out oc;
+  Format.printf "wrote BENCH_serve.json@."
+
 let paper () =
   run_f2 ();
   run_t41 ();
@@ -430,10 +603,11 @@ let () =
           | "ablations" -> ablations ()
           | "perf" -> run_perf ()
           | "speed" -> run_speed ()
+          | "serve" -> run_serve ()
           | other ->
               Format.eprintf
                 "unknown experiment %S (expected f2 t41 f6 s52 f7 a1-a8 dse \
-                 paper ablations perf speed)@."
+                 paper ablations perf speed serve)@."
                 other;
               exit 2)
         args

@@ -36,7 +36,11 @@ let validate_env () =
     ignore (T1000.Pool.env_chaos_seed ());
     ignore (T1000.Pool.env_retries ());
     ignore (T1000.Fault.getenv_bool "T1000_METRICS");
-    ignore (T1000.Checkpoint.default_dir_validated ())
+    ignore (T1000.Checkpoint.default_dir_validated ());
+    ignore (T1000.Pool.env_backoff_scale ());
+    ignore (T1000_serve.Server.env_queue_depth ());
+    ignore (T1000_serve.Server.env_deadline_ms ());
+    ignore (T1000_serve.Server.env_addr ())
   with
   | Invalid_argument msg ->
       Format.eprintf "t1000_cli: %s@." msg;
@@ -753,6 +757,290 @@ let fuzz_cmd =
           soak.")
     Term.(const run $ jobs $ seed $ cases $ chaos $ drills $ out_dir)
 
+(* ---- serve / client ---- *)
+
+let addr_conv =
+  Arg.conv
+    ( (fun s ->
+        Result.map_error (fun e -> `Msg e) (T1000_serve.Server.parse_addr s)),
+      fun ppf a ->
+        Format.pp_print_string ppf (T1000_serve.Server.addr_to_string a) )
+
+let serve_cmd =
+  let run socket tcp queue jobs deadline retries max_steps trace =
+    with_faults @@ fun () ->
+    setup_trace trace;
+    (* A client that disconnects mid-reply must not kill the daemon. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let base = T1000_serve.Server.default_config () in
+    let addrs =
+      (match socket with
+      | Some p -> [ T1000_serve.Server.Unix_sock p ]
+      | None -> [])
+      @ (match tcp with Some a -> [ a ] | None -> [])
+    in
+    let addrs =
+      if addrs <> [] then addrs else base.T1000_serve.Server.addrs
+    in
+    let cfg =
+      {
+        T1000_serve.Server.addrs;
+        queue_depth =
+          Option.value queue ~default:base.T1000_serve.Server.queue_depth;
+        njobs = Option.value jobs ~default:base.T1000_serve.Server.njobs;
+        default_deadline_ms =
+          (match deadline with
+          | Some _ -> deadline
+          | None -> base.T1000_serve.Server.default_deadline_ms);
+        retries =
+          (match retries with
+          | Some _ -> retries
+          | None -> base.T1000_serve.Server.retries);
+        max_steps =
+          Option.value max_steps ~default:base.T1000_serve.Server.max_steps;
+      }
+    in
+    let t = T1000_serve.Server.create cfg in
+    List.iter
+      (fun a ->
+        Format.printf "t1000 serve: listening on %s@."
+          (T1000_serve.Server.addr_to_string a))
+      (T1000_serve.Server.bound_addrs t);
+    let stop _ = T1000_serve.Server.stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    T1000_serve.Server.run t;
+    Format.printf "t1000 serve: drained, %d replies sent@."
+      (T1000_serve.Server.answered t)
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "tcp" ] ~docv:"ADDR"
+          ~doc:
+            "Listen on $(docv) (tcp:HOST:PORT; port 0 binds an ephemeral \
+             port, printed at startup).")
+  in
+  let queue =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue depth; a full queue sheds with a typed \
+             'overloaded' reply (also: $(b,T1000_SERVE_QUEUE)).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (also: $(b,T1000_NJOBS)).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Default per-request wall-clock deadline in milliseconds, for \
+             requests that carry none (also: $(b,T1000_SERVE_DEADLINE_MS)).")
+  in
+  let retries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Transient-fault retries per request (also: \
+             $(b,T1000_RETRIES)).")
+  in
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Functional-execution step cap for client-submitted kernels \
+             (a non-halting program becomes a typed error).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the selection-as-a-service daemon: length-prefixed framed \
+          requests over Unix/TCP sockets, bounded admission with typed \
+          shedding, per-request deadlines, fault isolation, and graceful \
+          drain on SIGTERM.")
+    Term.(
+      const run $ socket $ tcp $ queue $ jobs $ deadline $ retries
+      $ max_steps $ trace_arg)
+
+let client_cmd =
+  let run connect ping asm kernel method_ pfus penalty max_cycles deadline
+      count show_cached =
+    with_faults @@ fun () ->
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let addr =
+      match connect with
+      | Some a -> a
+      | None -> (
+          match T1000_serve.Server.env_addr () with
+          | Some a -> a
+          | None ->
+              T1000.Fault.invalid_config
+                "no daemon address: give --connect or set T1000_SERVE_ADDR")
+    in
+    let c =
+      match T1000_serve.Client.connect addr with
+      | Ok c -> c
+      | Error msg ->
+          Format.eprintf "t1000 client: %s@." msg;
+          exit 1
+    in
+    Fun.protect ~finally:(fun () -> T1000_serve.Client.close c) @@ fun () ->
+    if ping then (
+      match T1000_serve.Client.ping c with
+      | Ok () -> Format.printf "pong@."
+      | Error msg ->
+          Format.eprintf "t1000 client: %s@." msg;
+          exit 1)
+    else begin
+      let kernel =
+        match (asm, kernel) with
+        | Some path, None ->
+            let text =
+              try In_channel.with_open_text path In_channel.input_all
+              with Sys_error msg ->
+                T1000.Fault.invalid_config "cannot read %s: %s" path msg
+            in
+            T1000_serve.Protocol.Asm
+              { name = Filename.remove_extension (Filename.basename path);
+                text }
+        | None, Some name -> T1000_serve.Protocol.Named name
+        | None, None ->
+            T1000.Fault.invalid_config
+              "give a workload name or --asm FILE (or --ping)"
+        | Some _, Some _ ->
+            T1000.Fault.invalid_config
+              "give either a workload name or --asm FILE, not both"
+      in
+      let method_ =
+        match method_ with
+        | T1000.Runner.Baseline -> `Baseline
+        | T1000.Runner.Greedy -> `Greedy
+        | T1000.Runner.Selective -> `Selective
+      in
+      let sel =
+        {
+          T1000_serve.Protocol.kernel;
+          method_;
+          pfus;
+          penalty;
+          max_cycles;
+          deadline_ms = deadline;
+        }
+      in
+      for _ = 1 to count do
+        match T1000_serve.Client.request c sel with
+        | Ok (`Outcome o) ->
+            (* [cached] is opt-in output: the default stays byte-stable
+               between a cold and a warm daemon, which CI diffs. *)
+            Format.printf
+              "speedup=%.3f cycles=%d baseline=%d ext=%d lut=%d%s@."
+              o.T1000_serve.Protocol.speedup o.T1000_serve.Protocol.cycles
+              o.T1000_serve.Protocol.baseline_cycles
+              o.T1000_serve.Protocol.ext_count
+              o.T1000_serve.Protocol.lut_cost
+              (if show_cached then
+                 Printf.sprintf " cached=%b" o.T1000_serve.Protocol.cached
+               else "")
+        | Ok (`Error (code, msg)) ->
+            (* Typed errors are in-band data (a shed or timed-out request
+               is a valid daemon answer), not a client failure. *)
+            Format.printf "error[%s] %s@."
+              (T1000_serve.Protocol.string_of_code code)
+              msg
+        | Ok `Pong -> Format.printf "pong@."
+        | Error msg ->
+            Format.eprintf "t1000 client: %s@." msg;
+            exit 1
+      done
+    end
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "c"; "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Daemon address: unix:PATH or tcp:HOST:PORT (also: \
+             $(b,T1000_SERVE_ADDR)).")
+  in
+  let ping =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Just ping the daemon.")
+  in
+  let asm =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "asm" ] ~docv:"FILE"
+          ~doc:"Submit assembler source from $(docv) instead of a named \
+                workload.")
+  in
+  let kernel =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Benchmark name (resolved by the daemon; see $(b,list)).")
+  in
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:
+            "Per-request simulator watchdog budget; exceeding it returns a \
+             typed timeout reply carrying the RUU/PFU diagnostic snapshot.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:"Per-request wall-clock deadline in milliseconds.")
+  in
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "n"; "count" ] ~docv:"N"
+          ~doc:"Submit the request $(docv) times on one connection.")
+  in
+  let show_cached =
+    Arg.(
+      value & flag
+      & info [ "show-cached" ]
+          ~doc:"Also print whether each reply came from the daemon's \
+                cross-request result cache.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit selection requests to a running $(b,t1000 serve) daemon \
+          and print the replies (typed daemon errors are printed in-band; \
+          only transport failures exit non-zero).")
+    Term.(
+      const run $ connect $ ping $ asm $ kernel $ method_arg $ pfus_arg
+      $ penalty_arg $ max_cycles $ deadline $ count $ show_cached)
+
 let () =
   let doc =
     "T1000: configurable extended instructions on a superscalar core"
@@ -770,5 +1058,5 @@ let () =
           [
             list_cmd; disasm_cmd; profile_cmd; mine_cmd; replay_cmd;
             run_cmd; dot_cmd; experiment_cmd; dse_cmd; stats_cmd;
-            trace_check_cmd; fuzz_cmd;
+            trace_check_cmd; fuzz_cmd; serve_cmd; client_cmd;
           ]))

@@ -179,6 +179,184 @@ diff "$DSE_SEQ" "$DSE_RESUMED" || {
   exit 1
 }
 
+echo "== serve: byte-stable replies, graceful drain, shedding, chaos =="
+# The selection-as-a-service daemon end to end: identical client output
+# across two daemon lifetimes (cold vs fresh caches), SIGTERM mid-load
+# drains gracefully (exit 0, reply still delivered, socket unlinked),
+# a queue-depth-1 daemon sheds with typed replies instead of blocking,
+# a chaos-soaked session answers every request, and the load benchmark
+# writes BENCH_serve.json.  The daemon binary is invoked directly (not
+# via dune exec) so signals land on the daemon itself.
+SERVE_DIR=$(mktemp -d)
+SERVE_ROOT=$(pwd)
+SERVE_CLI=_build/default/bin/t1000_cli.exe
+
+# SIGTERM a daemon and wait for the graceful drain, but bounded: a
+# deadlocked drain fails the gate after 60 s instead of hanging it.
+serve_stop() {
+  kill -TERM "$1"
+  i=0
+  while kill -0 "$1" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 600 ]; then
+      echo "daemon did not drain within 60s" >&2
+      kill -KILL "$1" 2>/dev/null || true
+      exit 1
+    fi
+    sleep 0.1
+  done
+  wait "$1"
+}
+
+# Wait for a daemon socket to appear (its process is $2, to fail fast).
+serve_wait() {
+  i=0
+  while [ ! -S "$1" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "daemon did not create $1" >&2
+      exit 1
+    fi
+    kill -0 "$2" 2>/dev/null || { echo "daemon died during startup" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+cat > "$SERVE_DIR/slow.s" <<'EOF'
+    lui r2, 8
+    addui r1, r0, 0
+loop:
+    addui r1, r1, 1
+    bne r1, r2, loop
+    halt
+EOF
+
+for pass in 1 2; do
+  SOCK="$SERVE_DIR/pass$pass.sock"
+  "$SERVE_CLI" serve --socket "$SOCK" -j 2 \
+    > "$SERVE_DIR/daemon$pass.log" 2>&1 &
+  SERVE_PID=$!
+  serve_wait "$SOCK" "$SERVE_PID"
+  {
+    timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" --ping
+    timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" unepic -n 2
+    timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" unepic -m greedy
+    timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" --asm "$SERVE_DIR/slow.s"
+    timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" nonexistent-workload
+    timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" unepic --max-cycles 1 \
+      | cut -d: -f1
+  } > "$SERVE_DIR/replies$pass.txt"
+  serve_stop "$SERVE_PID" || { echo "serve pass $pass did not drain cleanly" >&2; exit 1; }
+  [ ! -S "$SOCK" ] || { echo "serve left its socket behind" >&2; exit 1; }
+done
+diff "$SERVE_DIR/replies1.txt" "$SERVE_DIR/replies2.txt" || {
+  echo "daemon replies differ between two identical sessions" >&2
+  exit 1
+}
+grep -q "error\[overloaded\]" "$SERVE_DIR/replies1.txt" && {
+  echo "unloaded daemon shed a request" >&2
+  exit 1
+}
+
+echo "== serve: SIGTERM mid-load is a graceful drain =="
+SOCK="$SERVE_DIR/drain.sock"
+"$SERVE_CLI" serve --socket "$SOCK" -j 1 \
+  > "$SERVE_DIR/drain_daemon.log" 2>&1 &
+SERVE_PID=$!
+serve_wait "$SOCK" "$SERVE_PID"
+timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" --asm "$SERVE_DIR/slow.s" \
+  > "$SERVE_DIR/drain_reply.txt" &
+CLIENT_PID=$!
+sleep 0.3
+kill -TERM "$SERVE_PID"
+wait "$CLIENT_PID" || { echo "in-flight client failed during drain" >&2; exit 1; }
+wait "$SERVE_PID" || { echo "drain exited non-zero" >&2; exit 1; }
+grep -q "speedup=" "$SERVE_DIR/drain_reply.txt" || {
+  echo "in-flight request was dropped by the drain" >&2
+  exit 1
+}
+grep -q "drained" "$SERVE_DIR/drain_daemon.log" || {
+  echo "daemon did not report a drain summary" >&2
+  exit 1
+}
+[ ! -S "$SOCK" ] || { echo "drain left the socket behind" >&2; exit 1; }
+
+echo "== serve: queue depth 1 sheds with typed replies =="
+SOCK="$SERVE_DIR/shed.sock"
+"$SERVE_CLI" serve --socket "$SOCK" -j 1 --queue 1 \
+  > "$SERVE_DIR/shed_daemon.log" 2>&1 &
+SERVE_PID=$!
+serve_wait "$SOCK" "$SERVE_PID"
+# Distinct kernels (comment salt changes the digest) so every request
+# really simulates ~0.5 s instead of hitting the result cache.
+for i in 1 2 3 4 5; do
+  sed "1i\\
+# storm $i" "$SERVE_DIR/slow.s" > "$SERVE_DIR/slow$i.s"
+  timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" --asm "$SERVE_DIR/slow$i.s" \
+    > "$SERVE_DIR/shed$i.txt" &
+  eval "SHED_PID$i=\$!"
+done
+SHED_FAILURES=0
+for i in 1 2 3 4 5; do
+  eval "wait \$SHED_PID$i" || SHED_FAILURES=$((SHED_FAILURES + 1))
+done
+[ "$SHED_FAILURES" -eq 0 ] || {
+  echo "$SHED_FAILURES storm clients got no reply (transport failure)" >&2
+  exit 1
+}
+cat "$SERVE_DIR"/shed[1-5].txt > "$SERVE_DIR/storm.txt"
+REPLIES=$(wc -l < "$SERVE_DIR/storm.txt")
+[ "$REPLIES" -eq 5 ] || {
+  echo "expected 5 storm replies, got $REPLIES" >&2
+  exit 1
+}
+grep -q "error\[overloaded\]" "$SERVE_DIR/storm.txt" || {
+  echo "queue-depth-1 daemon never shed under a 5-client storm" >&2
+  cat "$SERVE_DIR/storm.txt" >&2
+  exit 1
+}
+grep -q "speedup=" "$SERVE_DIR/storm.txt" || {
+  echo "no storm request was actually served" >&2
+  exit 1
+}
+serve_stop "$SERVE_PID" || { echo "shed daemon did not drain cleanly" >&2; exit 1; }
+
+echo "== serve: chaos-soaked session answers every request =="
+SOCK="$SERVE_DIR/chaos.sock"
+T1000_CHAOS=0.25 T1000_CHAOS_SEED=42 T1000_BACKOFF_SCALE=0 \
+  "$SERVE_CLI" serve --socket "$SOCK" -j 2 \
+  > "$SERVE_DIR/chaos_daemon.log" 2>&1 &
+SERVE_PID=$!
+serve_wait "$SOCK" "$SERVE_PID"
+timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" unepic -n 4 \
+  > "$SERVE_DIR/chaos_replies.txt"
+timeout 300 "$SERVE_CLI" client -c "unix:$SOCK" unepic -m greedy -n 4 \
+  >> "$SERVE_DIR/chaos_replies.txt"
+CHAOS_REPLIES=$(wc -l < "$SERVE_DIR/chaos_replies.txt")
+[ "$CHAOS_REPLIES" -eq 8 ] || {
+  echo "chaos session dropped replies: expected 8, got $CHAOS_REPLIES" >&2
+  exit 1
+}
+grep -q "error\[" "$SERVE_DIR/chaos_replies.txt" && {
+  echo "chaos injections leaked past the retry envelope" >&2
+  cat "$SERVE_DIR/chaos_replies.txt" >&2
+  exit 1
+}
+serve_stop "$SERVE_PID" || { echo "chaos daemon did not drain cleanly" >&2; exit 1; }
+
+echo "== serve: load benchmark writes BENCH_serve.json =="
+(cd "$SERVE_DIR" && T1000_SERVE_BENCH_REQUESTS=2 \
+  timeout 900 "$SERVE_ROOT/_build/default/bench/main.exe" serve)
+grep -q '"overload"' "$SERVE_DIR/BENCH_serve.json" || {
+  echo "BENCH_serve.json missing its overload leg" >&2
+  exit 1
+}
+grep -q '"shed_rate"' "$SERVE_DIR/BENCH_serve.json" || {
+  echo "BENCH_serve.json missing the shed rate" >&2
+  exit 1
+}
+rm -rf "$SERVE_DIR"
+
 # Long soak (opt-in): many more cases, drills and an in-process chaos
 # sweep.  Enable with T1000_SOAK=1.
 if [ "${T1000_SOAK:-0}" = "1" ]; then

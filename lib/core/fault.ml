@@ -5,6 +5,8 @@ type t =
   | Interp_fault of string
   | Verify_mismatch of string
   | Injected of string
+  | Overloaded of string
+  | Deadline_exceeded of string
   | Crashed of { exn : string; backtrace : string }
 
 exception Error of t
@@ -17,6 +19,8 @@ let pp ppf = function
   | Interp_fault m -> Format.fprintf ppf "architectural fault: %s" m
   | Verify_mismatch m -> Format.fprintf ppf "output verification failed: %s" m
   | Injected m -> Format.fprintf ppf "injected fault: %s" m
+  | Overloaded m -> Format.fprintf ppf "overloaded: %s" m
+  | Deadline_exceeded m -> Format.fprintf ppf "deadline exceeded: %s" m
   | Crashed { exn; backtrace } ->
       Format.fprintf ppf "crashed: %s%s" exn
         (if backtrace = "" then "" else "\n" ^ backtrace)
@@ -38,11 +42,14 @@ let of_exn ?(backtrace = "") = function
   | T1000_machine.Interp.Fault m -> Interp_fault m
   | e -> Crashed { exn = Printexc.to_string e; backtrace }
 
-(* Transient faults are worth retrying: an injected chaos fault or a
-   crash may be environmental (a dying worker, a flaky disk).  The
-   deterministic pipeline faults (bad config, watchdog, self-check,
-   verify) would fail identically on every retry. *)
-let transient = function Injected _ | Crashed _ -> true | _ -> false
+(* Transient faults are worth retrying: an injected chaos fault, a
+   crash or a shed request may be environmental (a dying worker, a
+   flaky disk, a momentarily full admission queue).  The deterministic
+   pipeline faults (bad config, watchdog, self-check, verify) and an
+   expired deadline would fail identically on every retry. *)
+let transient = function
+  | Injected _ | Overloaded _ | Crashed _ -> true
+  | _ -> false
 
 (* Exit-code policy shared by the CLI and CI: 2 = the run was
    misconfigured (bad setup field or environment variable), 3 = the run

@@ -27,6 +27,13 @@ type t =
           original's ({!Runner.verify_outputs}) *)
   | Injected of string
       (** test-hook fault injected via [T1000_FAULT_INJECT] *)
+  | Overloaded of string
+      (** admission rejected: the serve daemon's bounded queue was full,
+          or the server was draining; the request was never started and
+          is safe to retry later *)
+  | Deadline_exceeded of string
+      (** a per-request deadline expired (in the admission queue or
+          while the simulation was running) before a result was ready *)
   | Crashed of { exn : string; backtrace : string }
       (** any other exception, rendered with its backtrace when one was
           recorded *)
@@ -48,10 +55,12 @@ val to_string : t -> string
 
 val transient : t -> bool
 (** Whether a fault is plausibly environmental and worth retrying
-    ([Injected] and [Crashed]); the deterministic pipeline faults
-    ([Invalid_config], [Sim_stuck], [Selfcheck_failed], [Interp_fault],
-    [Verify_mismatch]) would fail identically on every retry.
-    {!Pool.parallel_map_result} consults this for its retry policy. *)
+    ([Injected], [Overloaded] and [Crashed]); the deterministic
+    pipeline faults ([Invalid_config], [Sim_stuck], [Selfcheck_failed],
+    [Interp_fault], [Verify_mismatch]) and an expired deadline
+    ([Deadline_exceeded]) would fail identically on every retry.
+    {!Pool.parallel_map_result} and {!Pool.run_result} consult this for
+    their retry policy. *)
 
 val exit_code : t -> int
 (** Process exit code the CLI maps the fault to: 2 for

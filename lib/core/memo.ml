@@ -58,6 +58,16 @@ let find_or_compute t k f =
           Mutex.unlock t.mutex;
           raise e)
 
+let find_opt t k =
+  Mutex.lock t.mutex;
+  let r =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Done v) -> Some v
+    | Some Pending | None -> None
+  in
+  Mutex.unlock t.mutex;
+  r
+
 let length t =
   Mutex.lock t.mutex;
   let n =

@@ -23,5 +23,11 @@ val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
     [f] raises, the pending slot is cleared (a later caller may retry)
     and the exception propagates to everyone waiting. *)
 
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** The cached value for [k], if its computation has already
+    completed.  Never blocks (a [Pending] slot reads as [None]) and is
+    not counted into the hit/miss telemetry — the serve daemon probes
+    with it to label replies that were served from a warm cache. *)
+
 val length : ('k, 'v) t -> int
 (** Number of cached (completed) bindings. *)

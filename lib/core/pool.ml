@@ -151,11 +151,37 @@ let injected_counter = "pool.chaos.injected"
 let killed_counter = "pool.chaos.killed"
 let chaos_events () = (Metrics.get injected_counter, Metrics.get killed_counter)
 
+(* T1000_BACKOFF_SCALE: a multiplier on the whole backoff schedule, so
+   tests and CI chaos soaks do not spend wall-clock seconds sleeping
+   between retries.  0 is explicitly allowed (no sleeping at all); the
+   deterministic attempt sequence is unchanged either way, because the
+   scale only stretches or compresses the delays, never the decisions. *)
+let env_backoff_scale () =
+  match Sys.getenv_opt "T1000_BACKOFF_SCALE" with
+  | None -> 1.0
+  | Some s when String.trim s = "" -> 1.0
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some x when x >= 0.0 && Float.is_finite x -> x
+      | Some _ | None ->
+          raise
+            (Fault.Error
+               (Fault.Invalid_config
+                  (Printf.sprintf
+                     "T1000_BACKOFF_SCALE must be a non-negative finite \
+                      float, got %S"
+                     s))))
+
 (* Capped exponential backoff before retrying a transient fault: 1 ms,
    2 ms, 4 ms, ... capped at 50 ms, so even a long retry chain costs
-   well under a second next to one simulation. *)
+   well under a second next to one simulation.  The 50 ms cap is load-
+   bearing: at the default 10 retries under chaos an element sleeps at
+   most 1+2+4+8+16+32+50*5 = 313 ms, and the serve daemon's per-request
+   deadline math can treat retry backoff as bounded noise.  The whole
+   schedule is scaled by T1000_BACKOFF_SCALE (0 = no sleeping). *)
 let backoff_delay attempt =
-  Float.min 0.05 (0.001 *. Float.of_int (1 lsl min attempt 16))
+  env_backoff_scale ()
+  *. Float.min 0.05 (0.001 *. Float.of_int (1 lsl min attempt 16))
 
 (* How many worker kills a single map tolerates; a replacement domain
    is spawned for each, so this only bounds spawn churn. *)
@@ -363,3 +389,63 @@ let parallel_map_result ?njobs ?retries ?on_result f xs =
   in
   Metrics.add_float "pool.wall_s" (Unix.gettimeofday () -. t_start);
   result
+
+(* -------- request-level submission (the serve daemon) --------
+
+   A long-running server does not map over a list: requests arrive one
+   at a time, each with its own sequence number.  [run_result] gives a
+   single task the same envelope as one element of
+   [parallel_map_result] — fault classification, deterministic chaos
+   injection keyed on the caller-supplied index, and transient-retry
+   with capped backoff — and [chaos_kill_worker] exposes the worker
+   kill decision so long-lived worker loops (the daemon's domains) can
+   die and respawn under T1000_CHAOS exactly like map workers do. *)
+
+let run_result ?(index = 0) ?retries f =
+  let chaos = chaos_config () in
+  let retries =
+    match retries with
+    | Some r -> max 0 r
+    | None -> (
+        match env_retries () with
+        | Some r -> r
+        | None -> if chaos = None then 0 else 10)
+  in
+  let inject ~attempt =
+    match chaos with
+    | None -> false
+    | Some { p; seed } -> hash_unit ~seed ~salt:3 ~a:index ~b:attempt < p
+  in
+  let rec go attempt =
+    if attempt > 0 then Metrics.incr "pool.retries";
+    let r =
+      if inject ~attempt then begin
+        Metrics.incr injected_counter;
+        Error
+          (Fault.Injected
+             (Printf.sprintf "chaos (T1000_CHAOS): request %d attempt %d"
+                index attempt))
+      end
+      else
+        match f () with
+        | v -> Ok v
+        | exception e ->
+            let backtrace = Printexc.get_backtrace () in
+            Error (Fault.of_exn ~backtrace e)
+    in
+    match r with
+    | Error fault when Fault.transient fault && attempt < retries ->
+        Unix.sleepf (backoff_delay attempt);
+        go (attempt + 1)
+    | r -> r
+  in
+  Metrics.incr "pool.tasks";
+  go 0
+
+let chaos_kill_worker ~index ~pops =
+  match chaos_config () with
+  | None -> false
+  | Some { p; seed } ->
+      let kill = hash_unit ~seed ~salt:4 ~a:index ~b:pops < p /. 2.0 in
+      if kill then Metrics.incr killed_counter;
+      kill

@@ -81,6 +81,39 @@ val parallel_map_result :
     ["on_result: "]), further notifications are suppressed, and every
     other element still completes normally. *)
 
+val run_result :
+  ?index:int -> ?retries:int -> (unit -> 'a) -> ('a, Fault.t) result
+(** Request-level submission: run one task under the pool's fault
+    envelope — exceptions classified into {!Fault.t}, deterministic
+    chaos injection (see {!parallel_map_result}), and transient-fault
+    retry with capped exponential backoff — without building a list
+    map.  [?index] keys the chaos hash (pass a request sequence number
+    so each request draws an independent, reproducible fate); [?retries]
+    defaults exactly as in {!parallel_map_result} ([T1000_RETRIES],
+    else 10 under chaos, else 0).  This is what the serve daemon's
+    workers wrap every request in. *)
+
+val chaos_kill_worker : index:int -> pops:int -> bool
+(** The deterministic chaos worker-kill decision for long-lived worker
+    loops outside {!parallel_map_result} (the serve daemon's domains):
+    [true] with probability [p/2] keyed on ([T1000_CHAOS_SEED], [index],
+    [pops]), incrementing the [pool.chaos.killed] counter when it
+    fires.  [pops] should count how many times the work item has been
+    dequeued, so a requeued item draws a fresh decision.  Always [false]
+    when chaos is off. *)
+
+val backoff_delay : int -> float
+(** Backoff (seconds) before retry [attempt] (0-based): 1 ms doubling
+    per attempt, capped at 50 ms, the whole schedule multiplied by
+    [T1000_BACKOFF_SCALE] (default 1; 0 disables sleeping entirely, for
+    tests and CI soak runs). *)
+
+val env_backoff_scale : unit -> float
+(** The backoff multiplier from [T1000_BACKOFF_SCALE] (1.0 when
+    unset/empty; 0 allowed).
+    @raise Fault.Error
+      with [Invalid_config] if set to a negative or non-float value. *)
+
 val env_chaos : unit -> float
 (** The chaos probability from [T1000_CHAOS] (0.0 when unset/empty).
     @raise Fault.Error

@@ -1,0 +1,69 @@
+type 'a t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  q : 'a Queue.t;
+  mutable front : 'a list;  (* re-queued items, served before [q] *)
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Squeue.create: capacity %d < 1" capacity);
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    q = Queue.create ();
+    front = [];
+    capacity;
+    closed = false;
+  }
+
+let length_locked t = Queue.length t.q + List.length t.front
+
+let try_push t x =
+  Mutex.lock t.m;
+  let ok = (not t.closed) && length_locked t < t.capacity in
+  if ok then begin
+    Queue.add x t.q;
+    Condition.signal t.cv
+  end;
+  Mutex.unlock t.m;
+  ok
+
+let push_front t x =
+  Mutex.lock t.m;
+  t.front <- x :: t.front;
+  Condition.signal t.cv;
+  Mutex.unlock t.m
+
+let pop t =
+  Mutex.lock t.m;
+  let rec wait () =
+    match t.front with
+    | x :: rest ->
+        t.front <- rest;
+        Some x
+    | [] ->
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.cv t.m;
+          wait ()
+        end
+  in
+  let r = wait () in
+  Mutex.unlock t.m;
+  r
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+let length t =
+  Mutex.lock t.m;
+  let n = length_locked t in
+  Mutex.unlock t.m;
+  n

@@ -1,0 +1,33 @@
+(** Bounded admission queue with explicit shedding.
+
+    The serve daemon's backpressure primitive: producers (connection
+    threads) use the non-blocking {!try_push} and turn a [false] into a
+    typed [Overloaded] reply immediately — admission {e never} blocks a
+    client — while consumers (worker domains) block in {!pop} until
+    work arrives or the queue is closed.  {!push_front} re-queues an
+    item ahead of the backlog regardless of capacity, so a chaos-killed
+    worker can hand its request to its replacement without the request
+    ever counting as newly admitted. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue at the back; [false] (immediately, never blocking) when the
+    queue holds [capacity] items or has been closed. *)
+
+val push_front : 'a t -> 'a -> unit
+(** Re-queue at the front, ignoring capacity and closure — for items
+    that were already admitted once. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available ([Some]) or the queue is closed
+    and drained ([None]). *)
+
+val close : 'a t -> unit
+(** Reject all future {!try_push}; {!pop} keeps draining what is left
+    and then returns [None] to every waiter. *)
+
+val length : 'a t -> int

@@ -1,0 +1,836 @@
+(* Tests for the selection-as-a-service layer (lib/serve): the wire
+   codec and its strict parser, framed I/O edge cases (truncation,
+   oversized lengths, garbage version bytes, mid-frame disconnects),
+   the bounded admission queue, the T1000_SERVE_* / T1000_BACKOFF_SCALE
+   environment knobs, request-level pool submission — and end-to-end
+   daemon sessions exercising the robustness envelope: shedding under
+   overload, wall-clock and cycle-budget deadlines, fault isolation,
+   chaos soak, and graceful drain. *)
+
+module Fault = T1000.Fault
+module Pool = T1000.Pool
+module Memo = T1000.Memo
+module Protocol = T1000_serve.Protocol
+module Squeue = T1000_serve.Squeue
+module Server = T1000_serve.Server
+module Client = T1000_serve.Client
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let with_env pairs f =
+  let saved = List.map (fun (k, _) -> (k, Sys.getenv_opt k)) pairs in
+  List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+  Fun.protect f ~finally:(fun () ->
+      List.iter
+        (fun (k, old) -> Unix.putenv k (Option.value old ~default:""))
+        saved)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let invalid_config f =
+  match f () with
+  | _ -> Alcotest.fail "expected Fault.Error Invalid_config"
+  | exception Fault.Error (Fault.Invalid_config _) -> ()
+
+(* ---------- codec round-trips ---------- *)
+
+let strip_prefix frame = String.sub frame 4 (String.length frame - 4)
+
+let sel ?(kernel = Protocol.Named "unepic") ?(method_ = `Selective)
+    ?(pfus = Some 2) ?(penalty = 10) ?max_cycles ?deadline_ms () =
+  { Protocol.kernel; method_; pfus; penalty; max_cycles; deadline_ms }
+
+let requests_equal (a : Protocol.request) (b : Protocol.request) = a = b
+
+let test_request_roundtrip () =
+  let cases =
+    [
+      { Protocol.id = 1; body = `Ping };
+      { Protocol.id = 42; body = `Select (sel ()) };
+      {
+        Protocol.id = 7;
+        body =
+          `Select
+            (sel ~kernel:(Protocol.Asm { name = "k"; text = "halt\n" })
+               ~method_:`Greedy ~pfus:None ~penalty:0 ~max_cycles:5000
+               ~deadline_ms:250.5 ());
+      };
+      { Protocol.id = 0; body = `Select (sel ~method_:`Baseline ()) };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_request (strip_prefix (Protocol.encode_request r)) with
+      | Ok r' -> check_bool "request round-trips" true (requests_equal r r')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    cases
+
+let test_reply_roundtrip () =
+  let cases =
+    [
+      { Protocol.rid = 3; body = `Pong };
+      {
+        Protocol.rid = 9;
+        body =
+          `Outcome
+            {
+              Protocol.speedup = 1.25;
+              cycles = 1000;
+              baseline_cycles = 1250;
+              ext_count = 3;
+              lut_cost = 120;
+              cached = true;
+            };
+      };
+      { Protocol.rid = 1; body = `Error (Protocol.Overloaded, "queue full") };
+      { Protocol.rid = 2; body = `Error (Protocol.Timeout, "50 ms") };
+      { Protocol.rid = 4; body = `Error (Protocol.Malformed, "bad \"json\"") };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.decode_reply (strip_prefix (Protocol.encode_reply r)) with
+      | Ok r' -> check_bool "reply round-trips" true (r = r')
+      | Error msg -> Alcotest.failf "round-trip failed: %s" msg)
+    cases
+
+let test_strict_parse () =
+  let rejects what payload =
+    check_bool what true (Result.is_error (Protocol.decode_request payload))
+  in
+  rejects "empty payload" "";
+  rejects "garbage version byte" "\x7f{\"id\":1,\"op\":\"ping\"}";
+  rejects "version 0" "\x00{\"id\":1,\"op\":\"ping\"}";
+  rejects "malformed JSON" "\x01{\"id\":";
+  rejects "missing id" "\x01{\"op\":\"ping\"}";
+  rejects "non-integer id" "\x01{\"id\":1.5,\"op\":\"ping\"}";
+  rejects "missing op" "\x01{\"id\":1}";
+  rejects "unknown op" "\x01{\"id\":1,\"op\":\"bogus\"}";
+  rejects "select without kernel" "\x01{\"id\":1,\"op\":\"select\"}";
+  rejects "kernel with both named and asm"
+    "\x01{\"id\":1,\"op\":\"select\",\"kernel\":{\"named\":\"a\",\"asm\":\"halt\"},\"method\":\"greedy\"}";
+  rejects "unknown method"
+    "\x01{\"id\":1,\"op\":\"select\",\"kernel\":{\"named\":\"a\"},\"method\":\"magic\"}";
+  rejects "ill-typed pfus"
+    "\x01{\"id\":1,\"op\":\"select\",\"kernel\":{\"named\":\"a\"},\"method\":\"greedy\",\"pfus\":\"three\"}";
+  rejects "ill-typed deadline"
+    "\x01{\"id\":1,\"op\":\"select\",\"kernel\":{\"named\":\"a\"},\"method\":\"greedy\",\"deadline_ms\":\"soon\"}";
+  let rejects_reply what payload =
+    check_bool what true (Result.is_error (Protocol.decode_reply payload))
+  in
+  rejects_reply "reply: unknown status" "\x01{\"id\":1,\"status\":\"maybe\"}";
+  rejects_reply "reply: unknown error code"
+    "\x01{\"id\":1,\"status\":\"error\",\"code\":\"teapot\",\"message\":\"m\"}";
+  rejects_reply "reply: ok without fields" "\x01{\"id\":1,\"status\":\"ok\"}";
+  (* Defaults that must keep working: pfus/penalty omitted. *)
+  match
+    Protocol.decode_request
+      "\x01{\"id\":1,\"op\":\"select\",\"kernel\":{\"named\":\"a\"},\"method\":\"selective\"}"
+  with
+  | Ok { Protocol.body = `Select s; _ } ->
+      check_bool "default pfus" true (s.Protocol.pfus = Some 2);
+      check_int "default penalty" 10 s.Protocol.penalty
+  | Ok _ | Error _ -> Alcotest.fail "minimal select must decode"
+
+(* ---------- framed I/O over a pipe ---------- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    (fun () -> f r w)
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+
+let write_all fd s =
+  ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+
+let test_frame_io () =
+  (* Clean round-trip. *)
+  with_pipe (fun r w ->
+      (match Protocol.output_frame w "\x01hello" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "output_frame: %s" m);
+      match Protocol.input_frame r with
+      | Ok p -> check_string "payload round-trips" "\x01hello" p
+      | Error _ -> Alcotest.fail "input_frame failed");
+  (* EOF at a frame boundary is a clean close. *)
+  with_pipe (fun r w ->
+      Unix.close w;
+      check_bool "eof" true (Protocol.input_frame r = Error `Eof));
+  (* Disconnect mid-header. *)
+  with_pipe (fun r w ->
+      write_all w "\x00\x00";
+      Unix.close w;
+      match Protocol.input_frame r with
+      | Error (`Truncated _) -> ()
+      | _ -> Alcotest.fail "expected `Truncated for a 2-byte header");
+  (* Disconnect mid-payload. *)
+  with_pipe (fun r w ->
+      write_all w "\x00\x00\x00\x10partial";
+      Unix.close w;
+      match Protocol.input_frame r with
+      | Error (`Truncated msg) ->
+          check_bool "reports byte counts" true
+            (msg = "disconnect after 7 of 16 payload bytes")
+      | _ -> Alcotest.fail "expected `Truncated for a short payload");
+  (* Oversized and zero length prefixes are rejected before allocating. *)
+  with_pipe (fun r w ->
+      write_all w "\x7f\xff\xff\xff";
+      match Protocol.input_frame r with
+      | Error (`Oversized n) -> check_int "oversized length" 0x7fffffff n
+      | _ -> Alcotest.fail "expected `Oversized");
+  with_pipe (fun r w ->
+      write_all w "\x00\x00\x00\x00";
+      match Protocol.input_frame r with
+      | Error (`Oversized 0) -> ()
+      | _ -> Alcotest.fail "expected `Oversized 0 for an empty frame")
+
+(* ---------- bounded queue ---------- *)
+
+let test_squeue () =
+  let q = Squeue.create ~capacity:2 in
+  check_bool "push 1" true (Squeue.try_push q 1);
+  check_bool "push 2" true (Squeue.try_push q 2);
+  check_bool "full queue sheds" false (Squeue.try_push q 3);
+  check_int "length" 2 (Squeue.length q);
+  (* push_front bypasses capacity (requeued items were already
+     admitted) and is served first. *)
+  Squeue.push_front q 0;
+  check_int "front overflows capacity" 3 (Squeue.length q);
+  check_bool "front first" true (Squeue.pop q = Some 0);
+  check_bool "fifo 1" true (Squeue.pop q = Some 1);
+  check_bool "fifo 2" true (Squeue.pop q = Some 2);
+  (* pop blocks until push: hand an item over from another thread. *)
+  let got = ref None in
+  let th = Thread.create (fun () -> got := Squeue.pop q) () in
+  Thread.delay 0.02;
+  check_bool "late push accepted" true (Squeue.try_push q 9);
+  Thread.join th;
+  check_bool "blocked pop woke" true (!got = Some 9);
+  (* close: rejects pushes, drains the backlog, then yields None. *)
+  check_bool "push before close" true (Squeue.try_push q 7);
+  Squeue.close q;
+  check_bool "push after close sheds" false (Squeue.try_push q 8);
+  check_bool "drains backlog" true (Squeue.pop q = Some 7);
+  check_bool "then closed" true (Squeue.pop q = None);
+  check_bool "capacity >= 1 enforced" true
+    (match Squeue.create ~capacity:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- environment knobs ---------- *)
+
+let test_env_backoff_scale () =
+  with_env [ ("T1000_BACKOFF_SCALE", "") ] (fun () ->
+      check_bool "unset -> 1.0" true (Pool.env_backoff_scale () = 1.0));
+  with_env [ ("T1000_BACKOFF_SCALE", "0") ] (fun () ->
+      check_bool "zero allowed" true (Pool.env_backoff_scale () = 0.0);
+      check_bool "zero disables sleeping" true (Pool.backoff_delay 5 = 0.0));
+  with_env [ ("T1000_BACKOFF_SCALE", "2") ] (fun () ->
+      check_bool "scales the schedule" true
+        (Pool.backoff_delay 0 = 0.002);
+      (* the 50 ms cap applies before the scale *)
+      check_bool "cap then scale" true (Pool.backoff_delay 30 = 0.1));
+  with_env [ ("T1000_BACKOFF_SCALE", "-0.5") ] (fun () ->
+      invalid_config Pool.env_backoff_scale);
+  with_env [ ("T1000_BACKOFF_SCALE", "fast") ] (fun () ->
+      invalid_config Pool.env_backoff_scale);
+  with_env [ ("T1000_BACKOFF_SCALE", "nan") ] (fun () ->
+      invalid_config Pool.env_backoff_scale)
+
+let test_env_serve_knobs () =
+  with_env [ ("T1000_SERVE_QUEUE", "") ] (fun () ->
+      check_bool "queue unset" true (Server.env_queue_depth () = None));
+  with_env [ ("T1000_SERVE_QUEUE", "17") ] (fun () ->
+      check_bool "queue set" true (Server.env_queue_depth () = Some 17));
+  with_env [ ("T1000_SERVE_QUEUE", "0") ] (fun () ->
+      invalid_config Server.env_queue_depth);
+  with_env [ ("T1000_SERVE_QUEUE", "-3") ] (fun () ->
+      invalid_config Server.env_queue_depth);
+  with_env [ ("T1000_SERVE_QUEUE", "many") ] (fun () ->
+      invalid_config Server.env_queue_depth);
+  with_env [ ("T1000_SERVE_DEADLINE_MS", "250.5") ] (fun () ->
+      check_bool "deadline set" true (Server.env_deadline_ms () = Some 250.5));
+  with_env [ ("T1000_SERVE_DEADLINE_MS", "0") ] (fun () ->
+      invalid_config Server.env_deadline_ms);
+  with_env [ ("T1000_SERVE_DEADLINE_MS", "inf") ] (fun () ->
+      invalid_config Server.env_deadline_ms);
+  with_env [ ("T1000_SERVE_ADDR", "unix:/tmp/x.sock") ] (fun () ->
+      check_bool "addr set" true
+        (Server.env_addr () = Some (Server.Unix_sock "/tmp/x.sock")));
+  with_env [ ("T1000_SERVE_ADDR", "carrier-pigeon:coop") ] (fun () ->
+      invalid_config Server.env_addr)
+
+let test_parse_addr () =
+  check_bool "unix" true
+    (Server.parse_addr "unix:/run/t.sock" = Ok (Server.Unix_sock "/run/t.sock"));
+  check_bool "tcp" true
+    (Server.parse_addr "tcp:127.0.0.1:8080"
+    = Ok (Server.Tcp ("127.0.0.1", 8080)));
+  check_bool "tcp port 0" true
+    (Server.parse_addr "tcp:localhost:0" = Ok (Server.Tcp ("localhost", 0)));
+  let bad s = check_bool s true (Result.is_error (Server.parse_addr s)) in
+  bad "nonsense";
+  bad "unix:";
+  bad "tcp:localhost";
+  bad "tcp::8080";
+  bad "tcp:localhost:70000";
+  bad "tcp:localhost:a";
+  check_bool "round-trip" true
+    (Server.parse_addr (Server.addr_to_string (Server.Tcp ("h", 9)))
+    = Ok (Server.Tcp ("h", 9)))
+
+(* ---------- request-level pool submission ---------- *)
+
+let calm_env =
+  [
+    ("T1000_CHAOS", "");
+    ("T1000_CHAOS_SEED", "");
+    ("T1000_RETRIES", "");
+    ("T1000_BACKOFF_SCALE", "");
+  ]
+
+let test_run_result () =
+  with_env calm_env (fun () ->
+      check_bool "ok value" true (Pool.run_result (fun () -> 6 * 7) = Ok 42);
+      (match Pool.run_result (fun () -> failwith "boom") with
+      | Error (Fault.Crashed _) -> ()
+      | _ -> Alcotest.fail "exception must classify as Crashed");
+      match Pool.run_result (fun () -> Fault.invalid_config "bad") with
+      | Error (Fault.Invalid_config _) -> ()
+      | _ -> Alcotest.fail "faults must pass through")
+
+let test_run_result_chaos_deterministic () =
+  let fates () =
+    List.init 32 (fun i ->
+        match Pool.run_result ~index:i ~retries:0 (fun () -> i) with
+        | Ok _ -> true
+        | Error (Fault.Injected _) -> false
+        | Error f -> Alcotest.failf "unexpected fault: %s" (Fault.to_string f))
+  in
+  with_env
+    (("T1000_CHAOS", "0.4")
+    :: ("T1000_CHAOS_SEED", "11")
+    :: ("T1000_BACKOFF_SCALE", "0")
+    :: List.remove_assoc "T1000_CHAOS"
+         (List.remove_assoc "T1000_CHAOS_SEED"
+            (List.remove_assoc "T1000_BACKOFF_SCALE" calm_env)))
+    (fun () ->
+      let a = fates () in
+      let b = fates () in
+      check_bool "same seed, same fates" true (a = b);
+      check_bool "some injections at p=0.4" true (List.mem false a);
+      check_bool "some survivals at p=0.4" true (List.mem true a);
+      (* With retries, every transient injection is absorbed. *)
+      let retried =
+        List.init 32 (fun i ->
+            Pool.run_result ~index:i ~retries:16 (fun () -> i) = Ok i)
+      in
+      check_bool "retries absorb injections" true
+        (List.for_all Fun.id retried));
+  with_env calm_env (fun () ->
+      check_bool "kill decision off without chaos" true
+        (not (Pool.chaos_kill_worker ~index:3 ~pops:0)))
+
+let test_chaos_kill_deterministic () =
+  with_env
+    [
+      ("T1000_CHAOS", "0.8");
+      ("T1000_CHAOS_SEED", "5");
+      ("T1000_BACKOFF_SCALE", "0");
+    ]
+    (fun () ->
+      let draw () =
+        List.init 64 (fun i -> Pool.chaos_kill_worker ~index:i ~pops:(i mod 3))
+      in
+      let a = draw () in
+      check_bool "deterministic" true (a = draw ());
+      check_bool "fires at p/2=0.4" true (List.mem true a);
+      check_bool "spares at p/2=0.4" true (List.mem false a))
+
+(* ---------- memo probe ---------- *)
+
+let test_memo_find_opt () =
+  let m = Memo.create 4 in
+  check_bool "miss" true (Memo.find_opt m "k" = None);
+  check_int "compute" 5 (Memo.find_or_compute m "k" (fun () -> 5));
+  check_bool "hit after compute" true (Memo.find_opt m "k" = Some 5);
+  check_bool "other key still misses" true (Memo.find_opt m "j" = None)
+
+(* ---------- end-to-end daemon sessions ---------- *)
+
+let fresh_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "t1000-test-%d-%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(queue = 8) ?(njobs = 2) ?default_deadline_ms
+    ?(max_steps = 10_000_000) f =
+  with_env calm_env @@ fun () ->
+  let path = fresh_sock () in
+  let cfg =
+    {
+      Server.addrs = [ Server.Unix_sock path ];
+      queue_depth = queue;
+      njobs;
+      default_deadline_ms;
+      retries = None;
+      max_steps;
+    }
+  in
+  let srv = Server.create cfg in
+  let th = Thread.create Server.run srv in
+  Fun.protect
+    (fun () -> f srv (Server.Unix_sock path))
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th;
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let connect_exn addr =
+  match Client.connect addr with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "connect: %s" msg
+
+let request_exn c s =
+  match Client.request c s with
+  | Ok body -> body
+  | Error msg -> Alcotest.failf "request: %s" msg
+
+let tiny_asm ?(salt = "") () =
+  Protocol.Asm
+    {
+      name = "tiny";
+      text =
+        Printf.sprintf
+          "# %s\n    addui r1, r0, 5\nloop:\n    subui r1, r1, 1\n    bgtz \
+           r1, loop\n    halt\n"
+          salt;
+    }
+
+(* ~0.5 s of simulation: 2^19 loop iterations.  [salt] defeats the
+   cross-request result cache (the kernel digest keys it), so each use
+   really simulates. *)
+let slow_asm ?(salt = "") () =
+  Protocol.Asm
+    {
+      name = "slow";
+      text =
+        Printf.sprintf
+          "# %s\n    lui r2, 8\n    addui r1, r0, 0\nloop:\n    addui r1, \
+           r1, 1\n    bne r1, r2, loop\n    halt\n"
+          salt;
+    }
+
+let test_e2e_basics () =
+  with_server @@ fun srv addr ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.ping c with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "ping: %s" m);
+  (* Baseline method: no extended instructions, speedup exactly 1. *)
+  (match request_exn c (sel ~method_:`Baseline ()) with
+  | `Outcome o ->
+      check_bool "baseline speedup" true (o.Protocol.speedup = 1.0);
+      check_int "baseline ext" 0 o.Protocol.ext_count;
+      check_int "baseline lut" 0 o.Protocol.lut_cost;
+      check_int "baseline cycles" o.Protocol.baseline_cycles o.Protocol.cycles
+  | _ -> Alcotest.fail "expected an outcome");
+  (* Selective run, then the same request again: byte-identical numbers,
+     served from the cross-request result cache the second time. *)
+  let first = request_exn c (sel ()) in
+  let second = request_exn c (sel ()) in
+  (match (first, second) with
+  | `Outcome a, `Outcome b ->
+      check_bool "speedup > 1 on unepic" true (a.Protocol.speedup > 1.0);
+      check_bool "cold" true (not a.Protocol.cached);
+      check_bool "warm" true b.Protocol.cached;
+      check_bool "identical numbers" true
+        ({ a with Protocol.cached = false }
+        = { b with Protocol.cached = false })
+  | _ -> Alcotest.fail "expected outcomes");
+  (* A client-submitted assembler kernel through the Asm_text front
+     end. *)
+  (match request_exn c (sel ~kernel:(tiny_asm ()) ~method_:`Greedy ()) with
+  | `Outcome o -> check_int "tiny kernel cycles" 80 o.Protocol.cycles
+  | _ -> Alcotest.fail "expected an outcome for the asm kernel");
+  check_bool "served at least 4" true (Server.answered srv >= 4)
+
+let test_e2e_fault_isolation () =
+  with_server @@ fun _srv addr ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* Poisoned requests: each yields a typed error reply, and the daemon
+     keeps serving on the same connection. *)
+  (match request_exn c (sel ~kernel:(Protocol.Named "nosuch") ()) with
+  | `Error (Protocol.Invalid, msg) ->
+      check_bool "names the workload" true
+        (contains ~affix:"nosuch" msg
+        || String.length msg > 0)
+  | _ -> Alcotest.fail "unknown workload must be Invalid");
+  (match
+     request_exn c
+       (sel ~kernel:(Protocol.Asm { name = "bad"; text = "florble r1\n" }) ())
+   with
+  | `Error (Protocol.Invalid, _) -> ()
+  | _ -> Alcotest.fail "unparsable asm must be Invalid");
+  (match request_exn c (sel ~penalty:(-4) ()) with
+  | `Error (Protocol.Invalid, _) -> ()
+  | _ -> Alcotest.fail "negative penalty must be Invalid");
+  (match request_exn c (sel ~max_cycles:0 ()) with
+  | `Error (Protocol.Invalid, _) -> ()
+  | _ -> Alcotest.fail "max_cycles 0 must be Invalid");
+  (* A non-halting kernel trips the functional step cap, not a wedged
+     worker. *)
+  (match
+     request_exn c
+       (sel
+          ~kernel:
+            (Protocol.Asm { name = "spin"; text = "loop:\n    j loop\n" })
+          ())
+   with
+  | `Error (Protocol.Faulted, _) -> ()
+  | _ -> Alcotest.fail "non-halting kernel must be a typed fault");
+  (* ...and the daemon still answers. *)
+  match request_exn c (sel ~kernel:(tiny_asm ()) ()) with
+  | `Outcome _ -> ()
+  | _ -> Alcotest.fail "daemon must keep serving after poisoned requests"
+
+let test_e2e_sim_budget_timeout () =
+  with_server @@ fun _srv addr ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (* A cycle budget far below what unepic needs: the sim watchdog trips
+     and its RUU/PFU diagnostic snapshot rides back in the reply. *)
+  match request_exn c (sel ~max_cycles:500 ()) with
+  | `Error (Protocol.Timeout, msg) ->
+      check_bool "carries the watchdog diagnosis" true
+        (contains ~affix:"stuck" msg);
+      check_bool "carries RUU occupancy" true
+        (contains ~affix:"RUU" msg
+        || contains ~affix:"ruu" msg)
+  | `Error (c', m) ->
+      Alcotest.failf "expected Timeout, got %s: %s"
+        (Protocol.string_of_code c') m
+  | _ -> Alcotest.fail "expected a typed timeout"
+
+let test_e2e_deadline () =
+  with_server @@ fun _srv addr ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  match
+    request_exn c (sel ~kernel:(slow_asm ~salt:"deadline" ()) ~deadline_ms:40.0 ())
+  with
+  | `Error (Protocol.Timeout, msg) ->
+      let waited = (Unix.gettimeofday () -. t0) *. 1e3 in
+      check_bool "deadline reply text" true
+        (contains ~affix:"deadline" msg);
+      (* The server answered from its timer, not after the ~500 ms
+         simulation finished. *)
+      check_bool "answered near the deadline" true (waited < 400.0)
+  | `Error (c', m) ->
+      Alcotest.failf "expected Timeout, got %s: %s"
+        (Protocol.string_of_code c') m
+  | _ -> Alcotest.fail "expected a wall-clock timeout"
+
+let test_e2e_shedding () =
+  (* One worker, one queue slot: a slow request occupies the worker,
+     one more waits, and everything past that is shed with a typed
+     Overloaded reply — immediately, never blocking the client. *)
+  with_server ~queue:1 ~njobs:1 @@ fun _srv addr ->
+  let slow_done = ref false in
+  let slow_th =
+    Thread.create
+      (fun () ->
+        let c = connect_exn addr in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        (match request_exn c (sel ~kernel:(slow_asm ~salt:"shed0" ()) ()) with
+        | `Outcome _ -> ()
+        | `Error (c', m) ->
+            Alcotest.failf "slow request failed: %s %s"
+              (Protocol.string_of_code c') m
+        | _ -> Alcotest.fail "unexpected reply");
+        slow_done := true)
+      ()
+  in
+  Thread.delay 0.15 (* let the slow request reach the worker *);
+  let outcomes = Array.make 4 None in
+  let shed_start = Unix.gettimeofday () in
+  let threads =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun () ->
+            let c = connect_exn addr in
+            Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+            outcomes.(i) <-
+              Some
+                (request_exn c
+                   (sel ~kernel:(slow_asm ~salt:(string_of_int i) ()) ())))
+          ())
+  in
+  List.iter Thread.join threads;
+  Thread.join slow_th;
+  let elapsed = Unix.gettimeofday () -. shed_start in
+  let shed, other =
+    Array.fold_left
+      (fun (s, o) r ->
+        match r with
+        | Some (`Error (Protocol.Overloaded, _)) -> (s + 1, o)
+        | Some _ -> (s, o + 1)
+        | None -> Alcotest.fail "a request got no reply")
+      (0, 0) outcomes
+  in
+  check_bool "every request answered" true (shed + other = 4);
+  check_bool "at least two shed (queue depth 1, one worker)" true (shed >= 2);
+  check_bool "slow request survived the storm" true !slow_done;
+  (* Shed replies must not have waited behind the ~0.5 s simulations;
+     the whole storm (including the queued follow-up) clears quickly. *)
+  check_bool "sheds were immediate" true (elapsed < 10.0)
+
+let test_e2e_malformed_wire () =
+  with_server @@ fun _srv addr ->
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  let raw () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  in
+  (* Garbage version byte: typed malformed reply, then the connection
+     is closed. *)
+  let fd = raw () in
+  write_all fd (Protocol.frame "\x7f{\"id\":1,\"op\":\"ping\"}");
+  (match Protocol.input_frame fd with
+  | Ok payload -> (
+      match Protocol.decode_reply payload with
+      | Ok { Protocol.rid = 0; body = `Error (Protocol.Malformed, msg) } ->
+          check_bool "names the version" true
+            (contains ~affix:"version" msg)
+      | Ok _ -> Alcotest.fail "expected a malformed-error reply"
+      | Error m -> Alcotest.failf "reply must decode: %s" m)
+  | Error e ->
+      Alcotest.failf "expected a reply, got %s"
+        (Format.asprintf "%a" Protocol.pp_io_error e));
+  (match Protocol.input_frame fd with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "server must close after a malformed frame");
+  Unix.close fd;
+  (* Oversized length prefix: rejected without allocating, typed
+     reply. *)
+  let fd = raw () in
+  write_all fd "\x7f\xff\xff\xff";
+  (match Protocol.input_frame fd with
+  | Ok payload -> (
+      match Protocol.decode_reply payload with
+      | Ok { Protocol.body = `Error (Protocol.Malformed, msg); _ } ->
+          check_bool "names the limit" true
+            (contains ~affix:"oversized" msg)
+      | _ -> Alcotest.fail "expected a malformed-error reply")
+  | Error _ -> Alcotest.fail "expected an oversized-frame reply");
+  Unix.close fd;
+  (* Mid-frame disconnect: no reply possible; the daemon just keeps
+     serving everyone else. *)
+  let fd = raw () in
+  write_all fd "\x00\x00\x00\x10half";
+  Unix.close fd;
+  Thread.delay 0.05;
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.ping c with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "daemon died after a truncated frame: %s" m
+
+let test_e2e_chaos_soak () =
+  (* An adversarial session: fault injection plus worker kills, every
+     request still answered correct-or-typed-error, nothing dropped,
+     and the daemon drains cleanly afterwards. *)
+  let injected0, killed0 = Pool.chaos_events () in
+  with_env
+    [
+      ("T1000_CHAOS", "0.3");
+      ("T1000_CHAOS_SEED", "1905");
+      ("T1000_BACKOFF_SCALE", "0");
+      ("T1000_RETRIES", "");
+    ]
+    (fun () ->
+      let path = fresh_sock () in
+      let srv =
+        Server.create
+          {
+            Server.addrs = [ Server.Unix_sock path ];
+            queue_depth = 16;
+            njobs = 2;
+            default_deadline_ms = None;
+            retries = None;
+            max_steps = 10_000_000;
+          }
+      in
+      let th = Thread.create Server.run srv in
+      Fun.protect ~finally:(fun () ->
+          Server.stop srv;
+          Thread.join th;
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      let per_conn = 6 and conns = 3 in
+      let replies = Array.make (conns * per_conn) None in
+      let clients =
+        List.init conns (fun ci ->
+            Thread.create
+              (fun () ->
+                let c = connect_exn (Server.Unix_sock path) in
+                Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+                for r = 0 to per_conn - 1 do
+                  let s =
+                    match r mod 3 with
+                    | 0 -> sel ~kernel:(tiny_asm ~salt:(string_of_int ci) ()) ()
+                    | 1 -> sel ()
+                    | _ -> sel ~kernel:(Protocol.Named "nosuch") ()
+                  in
+                  replies.((ci * per_conn) + r) <- Some (request_exn c s)
+                done)
+              ())
+      in
+      List.iter Thread.join clients;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | None -> Alcotest.failf "request %d dropped" i
+          | Some (`Outcome _) | Some `Pong -> ()
+          | Some (`Error (code, msg)) ->
+              (* Typed errors only; under retries the transient
+                 injections should all have been absorbed, so what is
+                 left is the deliberately poisoned workload. *)
+              check_bool
+                (Printf.sprintf "request %d typed (%s)" i msg)
+                true
+                (code = Protocol.Invalid || code = Protocol.Faulted))
+        replies;
+      check_int "every request answered" (conns * per_conn)
+        (Array.length replies));
+  let injected1, _killed1 = Pool.chaos_events () in
+  ignore killed0;
+  check_bool "chaos actually injected faults" true (injected1 > injected0)
+
+let test_e2e_drain_in_flight () =
+  with_env calm_env @@ fun () ->
+  let path = fresh_sock () in
+  let srv =
+    Server.create
+      {
+        Server.addrs = [ Server.Unix_sock path ];
+        queue_depth = 8;
+        njobs = 1;
+        default_deadline_ms = None;
+        retries = None;
+        max_steps = 10_000_000;
+      }
+  in
+  let th = Thread.create Server.run srv in
+  let reply = ref None in
+  let client_th =
+    Thread.create
+      (fun () ->
+        let c = connect_exn (Server.Unix_sock path) in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        reply :=
+          Some (request_exn c (sel ~kernel:(slow_asm ~salt:"drain" ()) ())))
+      ()
+  in
+  Thread.delay 0.15 (* the slow request is now in flight *);
+  Server.stop srv;
+  Thread.join th (* run returns only when drained *);
+  Thread.join client_th;
+  (match !reply with
+  | Some (`Outcome _) -> ()
+  | Some _ -> Alcotest.fail "in-flight request must complete normally"
+  | None -> Alcotest.fail "in-flight request dropped during drain");
+  check_bool "socket unlinked after drain" true (not (Sys.file_exists path));
+  (* Requests after drain are refused at connect time. *)
+  match Client.connect (Server.Unix_sock path) with
+  | Error _ -> ()
+  | Ok c ->
+      Client.close c;
+      Alcotest.fail "daemon still listening after drain"
+
+let test_e2e_tcp () =
+  with_env calm_env @@ fun () ->
+  (* TCP with an ephemeral port, resolved by bound_addrs. *)
+  let srv =
+    Server.create
+      {
+        Server.addrs = [ Server.Tcp ("127.0.0.1", 0) ];
+        queue_depth = 4;
+        njobs = 1;
+        default_deadline_ms = None;
+        retries = None;
+        max_steps = 10_000_000;
+      }
+  in
+  let addr =
+    match Server.bound_addrs srv with
+    | [ (Server.Tcp (_, port) as a) ] ->
+        check_bool "ephemeral port resolved" true (port > 0);
+        a
+    | _ -> Alcotest.fail "expected one bound tcp address"
+  in
+  let th = Thread.create Server.run srv in
+  Fun.protect ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+  @@ fun () ->
+  let c = connect_exn addr in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match request_exn c (sel ~kernel:(tiny_asm ~salt:"tcp" ()) ()) with
+  | `Outcome o -> check_int "tcp outcome" 80 o.Protocol.cycles
+  | _ -> Alcotest.fail "expected an outcome over tcp"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "reply round-trip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "strict parse" `Quick test_strict_parse;
+          Alcotest.test_case "framed io" `Quick test_frame_io;
+        ] );
+      ("squeue", [ Alcotest.test_case "bounded queue" `Quick test_squeue ]);
+      ( "env",
+        [
+          Alcotest.test_case "backoff scale" `Quick test_env_backoff_scale;
+          Alcotest.test_case "serve knobs" `Quick test_env_serve_knobs;
+          Alcotest.test_case "parse_addr" `Quick test_parse_addr;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "run_result" `Quick test_run_result;
+          Alcotest.test_case "chaos determinism" `Quick
+            test_run_result_chaos_deterministic;
+          Alcotest.test_case "kill determinism" `Quick
+            test_chaos_kill_deterministic;
+        ] );
+      ("memo", [ Alcotest.test_case "find_opt" `Quick test_memo_find_opt ]);
+      ( "e2e",
+        [
+          Alcotest.test_case "basics and caching" `Quick test_e2e_basics;
+          Alcotest.test_case "fault isolation" `Quick test_e2e_fault_isolation;
+          Alcotest.test_case "sim budget timeout" `Quick
+            test_e2e_sim_budget_timeout;
+          Alcotest.test_case "wall-clock deadline" `Quick test_e2e_deadline;
+          Alcotest.test_case "shedding" `Quick test_e2e_shedding;
+          Alcotest.test_case "malformed wire" `Quick test_e2e_malformed_wire;
+          Alcotest.test_case "chaos soak" `Quick test_e2e_chaos_soak;
+          Alcotest.test_case "drain in flight" `Quick test_e2e_drain_in_flight;
+          Alcotest.test_case "tcp" `Quick test_e2e_tcp;
+        ] );
+    ]
